@@ -1,0 +1,113 @@
+"""E10 - Section 5's conjecture: into-constraint pruning "should have a
+major impact in practice, since we will frequently have heterogeneity
+arising as an exception, having most of the edges of the schema
+associated with into constraints."
+
+The series sweeps the fraction of primary edges declared *into* and
+compares EXPAND-call counts with each heuristic disabled; the effect must
+grow with the into fraction.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_table
+
+from repro.core import DimsatOptions, dimsat
+from repro.generators.location import location_schema
+from repro.generators.random_schema import (
+    RandomSchemaConfig,
+    bottom_category,
+    make_unsatisfiable,
+    random_schema,
+)
+
+FULL = DimsatOptions()
+NO_INTO = DimsatOptions(into_pruning=False)
+NO_STRUCT = DimsatOptions(shortcut_pruning=False, cycle_pruning=False)
+NONE = DimsatOptions(
+    into_pruning=False, shortcut_pruning=False, cycle_pruning=False
+)
+
+
+def schema_with_into(fraction: float, n: int = 10, seed: int = 7):
+    return random_schema(
+        RandomSchemaConfig(
+            n_categories=n, n_layers=4, into_fraction=fraction, seed=seed
+        )
+    )
+
+
+@pytest.mark.parametrize("fraction", [0.0, 0.5, 1.0])
+def test_dimsat_full_pruning(benchmark, fraction):
+    schema = schema_with_into(fraction)
+    bottom = bottom_category(schema)
+    benchmark(dimsat, schema, bottom, FULL)
+
+
+@pytest.mark.parametrize("fraction", [0.0, 0.5, 1.0])
+def test_dimsat_no_into_pruning(benchmark, fraction):
+    schema = schema_with_into(fraction)
+    bottom = bottom_category(schema)
+    benchmark(dimsat, schema, bottom, NO_INTO)
+
+
+def test_location_ablation(benchmark, loc_schema):
+    benchmark(dimsat, loc_schema, "Store", NONE)
+
+
+def test_ablation_table():
+    """The experiment's summary: EXPAND calls under each configuration,
+    in the exhaustive (unsatisfiable) case where pruning matters most."""
+    rows = []
+    for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        schema = schema_with_into(fraction)
+        bottom = bottom_category(schema)
+        broken = make_unsatisfiable(schema, bottom)
+        counts = {}
+        for label, options in [
+            ("full", FULL),
+            ("no-into", NO_INTO),
+            ("no-structural", NO_STRUCT),
+            ("none", NONE),
+        ]:
+            counts[label] = dimsat(broken, bottom, options).stats.expand_calls
+        rows.append(
+            (
+                fraction,
+                counts["full"],
+                counts["no-into"],
+                counts["no-structural"],
+                counts["none"],
+                round(counts["no-into"] / max(1, counts["full"]), 2),
+            )
+        )
+    print_table(
+        "E10: EXPAND calls by pruning configuration (forced-unsat case)",
+        ["into fraction", "full", "no-into", "no-structural", "none", "into speedup"],
+        rows,
+    )
+    # The pruned search never does more work, and the into effect grows
+    # with the fraction of into edges (the paper's conjecture).
+    for row in rows:
+        assert row[1] <= row[2]
+        assert row[1] <= row[4]
+    assert rows[-1][5] >= rows[0][5]
+
+
+def test_paper_example_ablation_counts(loc_schema):
+    rows = []
+    for label, options in [
+        ("full", FULL),
+        ("no-into", NO_INTO),
+        ("no-structural", NO_STRUCT),
+        ("none", NONE),
+    ]:
+        stats = dimsat(loc_schema, "Store", options).stats
+        rows.append((label, stats.expand_calls, stats.check_calls))
+    print_table(
+        "E10: locationSch satisfiability under ablation",
+        ["configuration", "expand calls", "check calls"],
+        rows,
+    )
+    assert rows[0][1] <= rows[-1][1]

@@ -1,0 +1,44 @@
+"""E5 - Figure 7: the DIMSAT search on locationSch.
+
+Times the satisfiability run the figure traces and reports the search
+effort counters (EXPAND calls, CHECK calls, c-assignments), with and
+without the trace recorder.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.core import DimsatOptions, dimsat
+
+
+def test_dimsat_store(benchmark, loc_schema):
+    result = benchmark(dimsat, loc_schema, "Store")
+    assert result.satisfiable
+    stats = result.stats
+    print_table(
+        "E5 / Figure 7: DIMSAT(locationSch, Store) search effort",
+        ["counter", "value"],
+        [
+            ("expand calls", stats.expand_calls),
+            ("check calls", stats.check_calls),
+            ("c-assignments tested", stats.assignments_tested),
+            ("into-pruned branches", stats.into_pruned_branches),
+            ("dead ends", stats.dead_ends),
+        ],
+    )
+
+
+def test_dimsat_with_trace(benchmark, loc_schema):
+    options = DimsatOptions(keep_trace=True)
+    result = benchmark(dimsat, loc_schema, "Store", options)
+    assert result.trace
+    assert result.trace[-1].succeeded
+
+
+def test_unsatisfiable_exhaustion(benchmark, loc_schema):
+    """The coNP direction: refuting satisfiability explores the whole
+    pruned space (this is what every positive implication answer costs)."""
+    hostile = loc_schema.with_constraints(["not Store.SaleRegion"])
+    result = benchmark(dimsat, hostile, "Store")
+    assert not result.satisfiable

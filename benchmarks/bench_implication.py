@@ -1,0 +1,73 @@
+"""E6/E7 performance - implication and summarizability testing as used by
+an aggregate navigator.
+
+Positive implication answers (the useful ones) must exhaust the pruned
+search space, so they dominate navigator latency; the series reports both
+polarities plus full summarizability queries on locationSch.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_table
+
+from repro.core import implies, is_implied, is_summarizable_in_schema
+
+POSITIVE = [
+    "Store -> City",
+    "Store.Country implies Store.City.Country",
+    "City.Country",
+    "State -> SaleRegion or State -> Country",
+]
+NEGATIVE = [
+    "Store -> SaleRegion",
+    "Store.Province.Country",
+    "City -> Province",
+]
+
+
+@pytest.mark.parametrize("text", POSITIVE)
+def test_positive_implication(benchmark, loc_schema, text):
+    result = benchmark(implies, loc_schema, text)
+    assert result.implied
+
+
+@pytest.mark.parametrize("text", NEGATIVE)
+def test_negative_implication(benchmark, loc_schema, text):
+    result = benchmark(implies, loc_schema, text)
+    assert not result.implied
+
+
+@pytest.mark.parametrize(
+    "target,sources",
+    [
+        ("Country", ("City",)),
+        ("Country", ("State", "Province")),
+        ("Country", ("SaleRegion",)),
+    ],
+)
+def test_summarizability_query(benchmark, loc_schema, target, sources):
+    benchmark(is_summarizable_in_schema, loc_schema, target, sources)
+
+
+def test_effort_by_polarity_table(loc_schema):
+    rows = []
+    for text in POSITIVE + NEGATIVE:
+        result = implies(loc_schema, text)
+        rows.append(
+            (
+                text,
+                "yes" if result.implied else "no",
+                result.dimsat_result.stats.expand_calls,
+                result.dimsat_result.stats.assignments_tested,
+            )
+        )
+    print_table(
+        "E6/E7: implication effort on locationSch",
+        ["constraint", "implied", "expand calls", "assignments"],
+        rows,
+    )
+    implied_effort = [r[2] for r in rows if r[1] == "yes"]
+    refuted_effort = [r[2] for r in rows if r[1] == "no"]
+    # Positive answers exhaust the space; refutations stop at a witness.
+    assert max(refuted_effort) <= max(implied_effort)

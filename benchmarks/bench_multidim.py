@@ -1,0 +1,95 @@
+"""E12b - multi-dimensional navigation (the cube extension).
+
+Times direct multi-dimensional views vs. per-dimension guarded rollups on
+a location x time cube, and reports the plan the navigator chooses for
+safe and unsafe level assignments.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from conftest import print_table
+
+from repro.generators.location import location_instance, location_schema
+from repro.generators.suite import time_instance, time_schema
+from repro.olap import SUM
+from repro.olap.multidim import Cube, MultiNavigator, multi_views_equal
+
+
+def build_cube(n_facts: int = 2000) -> Cube:
+    location = location_instance()
+    time = time_instance()
+    cube = Cube(
+        {"location": location, "time": time},
+        {"location": location_schema(), "time": time_schema()},
+    )
+    rng = random.Random(5)
+    stores = sorted(location.base_members())
+    days = sorted(time.base_members())
+    rows = [
+        (
+            {"location": rng.choice(stores), "time": rng.choice(days)},
+            {"sales": round(rng.uniform(1, 50), 2)},
+        )
+        for _ in range(n_facts)
+    ]
+    return cube.load(rows)
+
+
+@pytest.fixture(scope="module")
+def cube():
+    return build_cube()
+
+
+def test_direct_view(benchmark, cube):
+    view = benchmark(
+        cube.view, {"location": "Country", "time": "Year"}, SUM, "sales"
+    )
+    assert view.cells
+
+
+def test_guarded_rollup(benchmark, cube):
+    fine = cube.view({"location": "City", "time": "Month"}, SUM, "sales")
+
+    def rolled():
+        return cube.rollup(fine, {"location": "Country", "time": "Year"})
+
+    view = benchmark(rolled)
+    direct = cube.view({"location": "Country", "time": "Year"}, SUM, "sales")
+    assert multi_views_equal(view, direct)
+
+
+def test_plan_table(cube):
+    navigator = MultiNavigator(cube)
+    navigator.materialize({"location": "City", "time": "Month"}, SUM, "sales")
+    navigator.materialize({"location": "Country", "time": "Week"}, SUM, "sales")
+
+    rows = []
+    for levels in (
+        {"location": "Country", "time": "Year"},
+        {"location": "SaleRegion", "time": "Quarter"},
+        {"location": "Country", "time": "Week"},
+        {"location": "State", "time": "Year"},
+    ):
+        view, plan = navigator.answer(levels, SUM, "sales")
+        direct = cube.view(levels, SUM, "sales")
+        assert multi_views_equal(view, direct), levels
+        rows.append(
+            (
+                f"{levels['location']} x {levels['time']}",
+                plan,
+                len(view),
+            )
+        )
+    print_table(
+        "E12b: multi-dimensional navigation plans (location x time cube)",
+        ["requested levels", "plan", "cells"],
+        rows,
+    )
+    kinds = {row[1] for row in rows}
+    # The safe requests roll up from the fine view; Country x Year must
+    # NOT come from the Week view (boundary weeks would drop).
+    assert "rolled-up" in kinds
+    assert rows[0][1] == "rolled-up"

@@ -1,0 +1,96 @@
+"""E9 - Proposition 4, the N_K axis: constants per category.
+
+The complexity bound carries an ``N log N_K`` exponent through the
+c-assignment search.  This series fixes the hierarchy and grows the
+constant pools; the c-assignment counter tracks the product of the
+residual domains, while the structural search (EXPAND) stays constant.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_table
+
+from repro.constraints.builder import eq, path
+from repro.core import DimensionSchema, dimsat
+from repro.core.hierarchy import ALL, HierarchySchema
+
+
+def schema_with_constants(
+    n_constants: int, width: int = 3, satisfiable: bool = True
+) -> DimensionSchema:
+    """A bottom category with ``width`` equality-constrained parents, each
+    carrying ``n_constants`` constants.
+
+    In the satisfiable shape each parent takes a disjunction of equalities
+    (CHECK succeeds quickly); the unsatisfiable shape additionally demands
+    the *last* constant simultaneously, a clash CHECK can only establish
+    by exhausting the whole ``(N_K + 1)^width`` c-assignment product.
+    """
+    categories = ["Base"] + [f"P{i}" for i in range(width)] + ["Top"]
+    edges = [("Base", f"P{i}") for i in range(width)]
+    edges += [(f"P{i}", "Top") for i in range(width)]
+    edges.append(("Top", ALL))
+    hierarchy = HierarchySchema(categories, edges)
+
+    constraints = []
+    for i in range(width):
+        parent = f"P{i}"
+        constraints.append(path("Base", parent))
+        options = [
+            eq("Base", parent, f"k{i}_{j}") for j in range(n_constants)
+        ]
+        node = options[0]
+        for other in options[1:]:
+            node = node | other
+        constraints.append(node)
+        if not satisfiable and n_constants >= 2:
+            # Demand two different names for the same single member.
+            constraints.append(eq("Base", parent, f"k{i}_0"))
+            constraints.append(eq("Base", parent, f"k{i}_1"))
+    return DimensionSchema(hierarchy, constraints)
+
+
+@pytest.mark.parametrize("n_constants", [1, 2, 4, 8])
+def test_constant_domain_scaling(benchmark, n_constants):
+    schema = schema_with_constants(n_constants)
+    result = benchmark(dimsat, schema, "Base")
+    assert result.satisfiable
+
+
+def test_assignment_counter_tracks_nk():
+    """The N_K series, in the exhaustive (unsatisfiable) case: the
+    structural search is constant while c-assignment work grows as
+    ``(N_K + 1)^width``."""
+    rows = []
+    for n_constants in (2, 4, 8):
+        schema = schema_with_constants(n_constants, satisfiable=False)
+        result = dimsat(schema, "Base")
+        assert not result.satisfiable
+        rows.append(
+            (
+                n_constants,
+                schema.max_constants(),
+                result.stats.expand_calls,
+                result.stats.assignments_tested,
+                (n_constants + 1) ** 3,
+            )
+        )
+    print_table(
+        "E9: c-assignment work as N_K grows (structure fixed, unsat case)",
+        ["constants/category", "N_K", "expand calls", "assignments tested", "(N_K+1)^3"],
+        rows,
+    )
+    expands = {row[2] for row in rows}
+    assert len(expands) == 1  # the structural search is N_K-independent
+    assignments = [row[3] for row in rows]
+    assert assignments == sorted(assignments)
+    for row in rows:
+        assert row[3] == row[4]
+
+
+@pytest.mark.parametrize("n_constants", [2, 4, 8])
+def test_unsat_constant_clash(benchmark, n_constants):
+    schema = schema_with_constants(n_constants, satisfiable=False)
+    result = benchmark(dimsat, schema, "Base")
+    assert not result.satisfiable

@@ -1,0 +1,69 @@
+"""E11 - Section 6's conjecture: "in most practical situations DIMSAT
+should yield execution times of the order of a few seconds".
+
+Runs full satisfiability audits and mixed implication workloads over the
+realistic schema suite and asserts the wall-clock conjecture (on a modern
+machine the whole suite lands far below one second, which comfortably
+confirms the 2002 claim).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from conftest import print_table
+
+from repro.core import is_implied, satisfiability_report
+from repro.generators.suite import suite_schemas
+from repro.generators.workloads import implication_workload
+
+SCHEMAS = suite_schemas()
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMAS))
+def test_satisfiability_audit(benchmark, name):
+    schema = SCHEMAS[name]
+    report = benchmark(satisfiability_report, schema)
+    assert all(report.values())
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMAS))
+def test_implication_workload(benchmark, name):
+    schema = SCHEMAS[name]
+    queries = implication_workload(schema, n_queries=10, seed=1)
+
+    def run():
+        return [is_implied(schema, q) for q in queries]
+
+    verdicts = benchmark(run)
+    assert any(verdicts)
+
+
+def test_suite_conjecture_table():
+    rows = []
+    total = 0.0
+    for name, schema in sorted(SCHEMAS.items()):
+        start = time.perf_counter()
+        report = satisfiability_report(schema)
+        queries = implication_workload(schema, n_queries=20, seed=2)
+        implied = sum(1 for q in queries if is_implied(schema, q))
+        elapsed = time.perf_counter() - start
+        total += elapsed
+        rows.append(
+            (
+                name,
+                len(schema.hierarchy.categories),
+                len(schema.constraints),
+                sum(report.values()),
+                f"{implied}/{len(queries)}",
+                f"{elapsed * 1000:.1f} ms",
+            )
+        )
+    print_table(
+        "E11: full audit + 20-query implication workload per schema",
+        ["schema", "categories", "constraints", "satisfiable", "implied", "time"],
+        rows,
+    )
+    # The paper's conjecture, with a 2026 machine's margin.
+    assert total < 5.0

@@ -1,0 +1,39 @@
+"""Benchmark-suite configuration.
+
+Every module regenerates one experiment of DESIGN.md's index (E3-E14) and
+prints the rows/series the paper's artifact would show; run with
+
+    pytest benchmarks/ --benchmark-only
+
+and add ``-s`` to see the printed experiment tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators.location import location_instance, location_schema
+
+
+@pytest.fixture(scope="session")
+def loc_schema():
+    return location_schema()
+
+
+@pytest.fixture(scope="session")
+def loc_instance():
+    return location_instance()
+
+
+def print_table(title, headers, rows):
+    """Render one experiment's table to stdout (shown with -s)."""
+    print(f"\n== {title} ==")
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

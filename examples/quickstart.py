@@ -1,0 +1,77 @@
+"""Quickstart: model a heterogeneous dimension and reason about it.
+
+Run:  python examples/quickstart.py
+
+Builds a small product dimension where some items are branded and some
+are generic, declares the dimension constraints that capture the rule,
+and asks the three questions the library answers:
+
+1. is a category satisfiable? (can any data ever live there?)
+2. is a constraint implied?  (does every legal instance obey it?)
+3. is a category summarizable from others? (may the OLAP engine reuse a
+   precomputed aggregate?)
+"""
+
+from repro import (
+    DimensionSchema,
+    HierarchySchema,
+    dimsat,
+    implies,
+    is_summarizable_in_schema,
+)
+
+
+def main() -> None:
+    # 1. The hierarchy schema: a DAG of categories topped by "All".
+    #    Items roll up either through Brand (branded goods) or through
+    #    GenericClass (store brands) - never both.
+    hierarchy = HierarchySchema(
+        categories=["Item", "Brand", "GenericClass", "Supplier"],
+        edges=[
+            ("Item", "Brand"),
+            ("Item", "GenericClass"),
+            ("Brand", "Supplier"),
+            ("GenericClass", "Supplier"),
+            ("Supplier", "All"),
+        ],
+    )
+
+    # 2. Dimension constraints, in the textual syntax:
+    #    - every item has exactly one of the two parents;
+    #    - items of the house brand "Acme" are always generic.
+    schema = DimensionSchema(
+        hierarchy,
+        [
+            "one(Item -> Brand, Item -> GenericClass)",
+            "Item.Supplier = 'Acme' implies Item -> GenericClass",
+        ],
+    )
+
+    # 3. Category satisfiability: every category can hold data, and the
+    #    witness frozen dimension shows one minimal way it can look.
+    for category in sorted(hierarchy.categories):
+        result = dimsat(schema, category)
+        witness = result.witness.describe() if result.witness else "-"
+        print(f"satisfiable({category}) = {result.satisfiable}   {witness}")
+
+    # 4. Implication: every item reaches Supplier (through one branch or
+    #    the other), even though neither branch is mandatory by itself.
+    print()
+    for text in [
+        "Item.Supplier",
+        "Item -> Brand",
+        "Item.Supplier = 'Acme' implies not Item -> Brand",
+    ]:
+        print(f"implied: {text!r:60} -> {implies(schema, text).implied}")
+
+    # 5. Summarizability: supplier totals can be derived from brand totals
+    #    plus generic-class totals (each item passes through exactly one),
+    #    but not from brand totals alone.
+    print()
+    for sources in (["Brand"], ["Brand", "GenericClass"]):
+        verdict = is_summarizable_in_schema(schema, "Supplier", sources)
+        print(f"Supplier summarizable from {sources}: {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim: the environment has no `wheel` package and no network, so
+`pip install -e .` must use the setup.py editable path."""
+
+from setuptools import setup
+
+setup()

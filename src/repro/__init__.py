@@ -1,0 +1,96 @@
+"""repro - a reproduction of "OLAP Dimension Constraints"
+(Hurtado & Mendelzon, PODS 2002).
+
+The library provides, end to end:
+
+* a heterogeneous dimension model - hierarchy schemas with cycles and
+  shortcuts, dimension instances with the (C1)-(C7) validator
+  (:mod:`repro.core`);
+* the dimension constraint language with parser, printer, and Definition 4
+  semantics (:mod:`repro.constraints`);
+* frozen dimensions and the DIMSAT satisfiability/implication engine
+  (:mod:`repro.core.dimsat`, :mod:`repro.core.implication`);
+* summarizability reasoning per Theorem 1
+  (:mod:`repro.core.summarizability`);
+* an OLAP substrate - fact tables, distributive aggregates, cube views,
+  and a summarizability-driven aggregate navigator (:mod:`repro.olap`);
+* the related-work baselines the paper compares against
+  (:mod:`repro.baselines`), synthetic workload generators
+  (:mod:`repro.generators`), and serialization (:mod:`repro.io`).
+
+Quickstart::
+
+    from repro import DimensionSchema, HierarchySchema, dimsat, implies
+
+    g = HierarchySchema(
+        ["Store", "City", "Country"],
+        [("Store", "City"), ("City", "Country"), ("Country", "All")],
+    )
+    ds = DimensionSchema(g, ["Store -> City"])
+    assert dimsat(ds, "Store").satisfiable
+    assert implies(ds, "Store.Country").implied
+"""
+
+from repro.constraints import parse, parse_many, satisfies, unparse
+from repro.core import (
+    ALL,
+    DimensionInstance,
+    InstanceBuilder,
+    DimensionSchema,
+    DimsatOptions,
+    DimsatResult,
+    FrozenDimension,
+    HierarchySchema,
+    Subhierarchy,
+    dimsat,
+    enumerate_frozen_dimensions,
+    implies,
+    is_category_satisfiable,
+    is_implied,
+    is_summarizable_in_instance,
+    is_summarizable_in_schema,
+    summarizable_sets,
+)
+from repro.errors import (
+    ConstraintError,
+    ConstraintSyntaxError,
+    InstanceError,
+    NavigationError,
+    OlapError,
+    ReproError,
+    SchemaError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL",
+    "ConstraintError",
+    "ConstraintSyntaxError",
+    "DimensionInstance",
+    "DimensionSchema",
+    "DimsatOptions",
+    "DimsatResult",
+    "FrozenDimension",
+    "HierarchySchema",
+    "InstanceBuilder",
+    "InstanceError",
+    "NavigationError",
+    "OlapError",
+    "ReproError",
+    "SchemaError",
+    "Subhierarchy",
+    "__version__",
+    "dimsat",
+    "enumerate_frozen_dimensions",
+    "implies",
+    "is_category_satisfiable",
+    "is_implied",
+    "is_summarizable_in_instance",
+    "is_summarizable_in_schema",
+    "parse",
+    "parse_many",
+    "satisfies",
+    "summarizable_sets",
+    "unparse",
+]

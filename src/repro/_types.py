@@ -1,0 +1,21 @@
+"""Shared primitive type aliases.
+
+These live in a leaf module so that :mod:`repro.constraints` (which needs
+``Category``) never has to import :mod:`repro.core` and trigger its package
+initializer - the constraint AST is below the dimension model in the
+dependency order.
+"""
+
+from typing import Hashable, Tuple
+
+#: A category of a hierarchy schema.  Categories are plain strings.
+Category = str
+
+#: A child/parent edge between categories.
+Edge = Tuple[Category, Category]
+
+#: A member of a dimension instance; any hashable value works.
+Member = Hashable
+
+#: Name of the distinguished top category, present in every hierarchy schema.
+ALL = "All"

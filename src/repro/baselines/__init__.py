@@ -1,0 +1,60 @@
+"""Related-work baselines (Section 1.3): brute-force satisfiability,
+Pedersen-Jensen null padding, Lehner et al. DNF flattening, and the
+authors' earlier split constraints.
+"""
+
+from repro.baselines.bruteforce import (
+    BruteForceStats,
+    brute_force_frozen_dimensions,
+    brute_force_implies,
+    brute_force_satisfiable,
+    candidate_subhierarchies,
+)
+from repro.baselines.dnf import (
+    DnfLossReport,
+    FlattenResult,
+    dnf_loss_report,
+    flatten_to_dnf,
+    total_edges,
+)
+from repro.baselines.homogenize import (
+    PaddingReport,
+    homogenize,
+    is_null_member,
+    null_member,
+    padding_report,
+)
+from repro.baselines.split_constraints import (
+    SplitConstraint,
+    split_to_dimension_constraint,
+    gap_hierarchy,
+    gap_instances,
+    infer_split_constraints,
+    same_split_descriptions,
+    split_description,
+)
+
+__all__ = [
+    "BruteForceStats",
+    "DnfLossReport",
+    "FlattenResult",
+    "PaddingReport",
+    "SplitConstraint",
+    "brute_force_frozen_dimensions",
+    "brute_force_implies",
+    "brute_force_satisfiable",
+    "candidate_subhierarchies",
+    "dnf_loss_report",
+    "flatten_to_dnf",
+    "gap_hierarchy",
+    "gap_instances",
+    "homogenize",
+    "infer_split_constraints",
+    "is_null_member",
+    "null_member",
+    "padding_report",
+    "same_split_descriptions",
+    "split_description",
+    "split_to_dimension_constraint",
+    "total_edges",
+]

@@ -1,0 +1,315 @@
+"""Command-line interface: schema reasoning without writing Python.
+
+Installed as ``repro-olap`` (see pyproject); also runnable as
+``python -m repro.cli``.  Schemas travel as JSON files (the
+:mod:`repro.io.json_io` format), instances as JSON or the CSV dimension
+format.
+
+Subcommands
+-----------
+
+``audit SCHEMA``
+    Satisfiability verdict for every category; exit code 1 when some
+    category is unsatisfiable.
+``implies SCHEMA CONSTRAINT``
+    Test ``ds |= constraint``; prints the verdict and, when refuted, the
+    counterexample frozen dimension.  Exit code 1 on "not implied".
+``summarizable SCHEMA TARGET SOURCE [SOURCE ...]``
+    Schema-level summarizability; exit code 1 on "no".
+``frozen SCHEMA ROOT [--dot]``
+    Enumerate the frozen dimensions with the given root.
+``validate SCHEMA INSTANCE``
+    Check an instance file against (C1)-(C7) and the schema's
+    constraints; exit code 1 on any violation.
+``explain SCHEMA TARGET SOURCE [SOURCE ...]``
+    Summarizability verdict with evidence (lost / double-counted facts,
+    counterexample shape).
+``show SCHEMA [INSTANCE]``
+    Render the hierarchy (and optionally an instance) as text trees.
+``stats SCHEMA``
+    Schema metrics (N, N_K, N_SIGMA, heterogeneity, into coverage) and
+    realized DIMSAT effort per bottom category.
+``normalize SCHEMA``
+    Drop redundant constraints, declare implied intos, print the
+    normalized schema JSON (diagnostics on stderr).
+``satisfiable SCHEMA CATEGORY``
+    Satisfiability of one category, with the witness frozen dimension.
+``dot SCHEMA``
+    Emit the hierarchy as Graphviz DOT.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.constraints.semantics import failures
+from repro.core import (
+    dimsat,
+    enumerate_frozen_dimensions,
+    implies,
+    is_summarizable_in_schema,
+    satisfiability_report,
+)
+from repro.core.schema import DimensionSchema
+from repro.errors import ReproError
+from repro.io import (
+    frozen_set_to_dot,
+    hierarchy_to_dot,
+    instance_from_json,
+    schema_from_json,
+)
+
+
+def _load_schema(path: str) -> DimensionSchema:
+    return schema_from_json(Path(path).read_text())
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    schema = _load_schema(args.schema)
+    report = satisfiability_report(schema)
+    bad = 0
+    for category, satisfiable in sorted(report.items()):
+        marker = "ok " if satisfiable else "DEAD"
+        if not satisfiable:
+            bad += 1
+        print(f"{marker}  {category}")
+    if bad:
+        print(f"{bad} unsatisfiable categor{'y' if bad == 1 else 'ies'}")
+    return 1 if bad else 0
+
+
+def _cmd_implies(args: argparse.Namespace) -> int:
+    schema = _load_schema(args.schema)
+    result = implies(schema, args.constraint)
+    if result.implied:
+        print("implied")
+        return 0
+    print("not implied")
+    if result.counterexample is not None:
+        print(f"counterexample: {result.counterexample.describe()}")
+    return 1
+
+
+def _cmd_summarizable(args: argparse.Namespace) -> int:
+    schema = _load_schema(args.schema)
+    verdict = is_summarizable_in_schema(schema, args.target, args.sources)
+    print("yes" if verdict else "no")
+    return 0 if verdict else 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core.explain import explain_summarizability_in_schema
+
+    schema = _load_schema(args.schema)
+    explanation = explain_summarizability_in_schema(
+        schema, args.target, args.sources
+    )
+    print(explanation.render())
+    return 0 if explanation.summarizable else 1
+
+
+def _cmd_frozen(args: argparse.Namespace) -> int:
+    schema = _load_schema(args.schema)
+    found = enumerate_frozen_dimensions(schema, args.root)
+    if args.dot:
+        print(frozen_set_to_dot(found))
+        return 0
+    if not found:
+        print(f"category {args.root} is unsatisfiable")
+        return 1
+    for index, frozen in enumerate(found, start=1):
+        print(f"f{index}: {frozen.describe()}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    schema = _load_schema(args.schema)
+    document = json.loads(Path(args.instance).read_text())
+    # Accept either a full instance document or one without a hierarchy
+    # (then the schema's hierarchy is used).
+    if "hierarchy" not in document:
+        from repro.io import hierarchy_to_dict
+
+        document["hierarchy"] = hierarchy_to_dict(schema.hierarchy)
+    from repro.core import DimensionInstance
+    from repro.io import instance_from_dict
+
+    try:
+        instance = instance_from_dict(document)
+    except ReproError as error:
+        print(f"INVALID: {error}")
+        return 1
+    problems: List[str] = []
+    for node, members in failures(instance, schema.constraints):
+        rendered = ", ".join(str(m) for m in members[:5])
+        problems.append(f"constraint {node!r} violated at: {rendered}")
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}")
+        return 1
+    print(f"valid: {len(instance)} members satisfy (C1)-(C7) and all "
+          f"{len(schema.constraints)} constraints")
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    schema = _load_schema(args.schema)
+    print(hierarchy_to_dot(schema.hierarchy))
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from repro.io import hierarchy_tree, instance_tree
+
+    schema = _load_schema(args.schema)
+    print(hierarchy_tree(schema.hierarchy))
+    if schema.constraints:
+        print("\nconstraints:")
+        for node in schema.constraints:
+            print(f"  {node}")
+    if args.instance:
+        instance = instance_from_json(Path(args.instance).read_text())
+        print()
+        print(instance_tree(instance))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.io.markdown import schema_report
+
+    schema = _load_schema(args.schema)
+    print(schema_report(schema, root=args.root))
+    return 0
+
+
+def _cmd_normalize(args: argparse.Namespace) -> int:
+    from repro.core.normalize import minimize, strengthen_with_intos
+    from repro.io import schema_to_json
+
+    schema = _load_schema(args.schema)
+    minimized, dropped = minimize(schema)
+    strengthened, added = strengthen_with_intos(minimized)
+    for node in dropped:
+        print(f"dropped (redundant): {node}", file=sys.stderr)
+    for child, parent in added:
+        print(f"declared implied into: {child} -> {parent}", file=sys.stderr)
+    print(schema_to_json(strengthened))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.core.profile import profile_report
+
+    schema = _load_schema(args.schema)
+    print(profile_report(schema))
+    return 0
+
+
+def _cmd_satisfiable(args: argparse.Namespace) -> int:
+    schema = _load_schema(args.schema)
+    result = dimsat(schema, args.category)
+    if result.satisfiable:
+        print(f"satisfiable: {result.witness.describe()}")
+        return 0
+    print("unsatisfiable")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-olap",
+        description="Reason about OLAP dimension schemas with dimension "
+        "constraints (Hurtado & Mendelzon, PODS 2002).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    audit = sub.add_parser("audit", help="satisfiability of every category")
+    audit.add_argument("schema")
+    audit.set_defaults(handler=_cmd_audit)
+
+    imp = sub.add_parser("implies", help="test ds |= constraint")
+    imp.add_argument("schema")
+    imp.add_argument("constraint")
+    imp.set_defaults(handler=_cmd_implies)
+
+    summ = sub.add_parser("summarizable", help="schema-level summarizability")
+    summ.add_argument("schema")
+    summ.add_argument("target")
+    summ.add_argument("sources", nargs="+")
+    summ.set_defaults(handler=_cmd_summarizable)
+
+    expl = sub.add_parser(
+        "explain", help="explain a summarizability verdict with evidence"
+    )
+    expl.add_argument("schema")
+    expl.add_argument("target")
+    expl.add_argument("sources", nargs="+")
+    expl.set_defaults(handler=_cmd_explain)
+
+    froz = sub.add_parser("frozen", help="enumerate frozen dimensions")
+    froz.add_argument("schema")
+    froz.add_argument("root")
+    froz.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    froz.set_defaults(handler=_cmd_frozen)
+
+    val = sub.add_parser("validate", help="validate an instance file")
+    val.add_argument("schema")
+    val.add_argument("instance")
+    val.set_defaults(handler=_cmd_validate)
+
+    dot = sub.add_parser("dot", help="hierarchy schema as Graphviz DOT")
+    dot.add_argument("schema")
+    dot.set_defaults(handler=_cmd_dot)
+
+    show = sub.add_parser("show", help="render schema (and instance) as text")
+    show.add_argument("schema")
+    show.add_argument("instance", nargs="?", default=None)
+    show.set_defaults(handler=_cmd_show)
+
+    rep = sub.add_parser(
+        "report", help="full markdown report (hierarchy, constraints, "
+        "profile, frozen dimensions, summarizability matrix)"
+    )
+    rep.add_argument("schema")
+    rep.add_argument("--root", default=None)
+    rep.set_defaults(handler=_cmd_report)
+
+    norm = sub.add_parser(
+        "normalize",
+        help="drop redundant constraints, declare implied intos, "
+        "emit the normalized schema JSON",
+    )
+    norm.add_argument("schema")
+    norm.set_defaults(handler=_cmd_normalize)
+
+    stats = sub.add_parser("stats", help="schema metrics and DIMSAT effort")
+    stats.add_argument("schema")
+    stats.set_defaults(handler=_cmd_stats)
+
+    sat = sub.add_parser("satisfiable", help="satisfiability of one category")
+    sat.add_argument("schema")
+    sat.add_argument("category")
+    sat.set_defaults(handler=_cmd_satisfiable)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,374 @@
+"""Abstract syntax of dimension constraints (Definition 3).
+
+A dimension constraint over a hierarchy schema ``G`` with root category
+``c`` is a Boolean combination of atoms rooted at ``c``:
+
+* **path atoms** ``c_c1_..._cn`` - there is a direct child/parent chain from
+  the member through categories ``c1 ... cn``;
+* **equality atoms** ``c.ci ~ k`` - the member rolls up to a member of
+  ``ci`` named ``k``;
+* **composed path atoms** ``c.ci`` (rolls up to ``ci``) and ``c.ci.cj``
+  (rolls up to ``cj`` passing through ``ci``), which the paper defines as
+  shorthands for disjunctions of path atoms; we keep them as first-class
+  nodes and expand them on demand (:mod:`repro.constraints.atoms`).
+
+Connectives: negation, conjunction, disjunction, implication, equivalence,
+exclusive disjunction, the constants ``TRUE``/``FALSE``, and the paper's
+``(.)A`` operator :class:`ExactlyOne` ("there is exactly one true atom in
+A").
+
+All nodes are immutable and hashable; structural equality is definitional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro._types import Category
+
+
+class Node:
+    """Base class of constraint expression nodes."""
+
+    __slots__ = ()
+
+    def atoms(self) -> Iterator["Atom"]:
+        """Yield every atom occurring in the expression, left to right."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Node", ...]:
+        """Direct sub-expressions."""
+        raise NotImplementedError
+
+    # Operator sugar so tests and examples can write ``a & b | ~c``.
+    def __and__(self, other: "Node") -> "And":
+        return And((self, other))
+
+    def __or__(self, other: "Node") -> "Or":
+        return Or((self, other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def implies(self, other: "Node") -> "Implies":
+        """``self IMPLIES other`` (the paper's horseshoe)."""
+        return Implies(self, other)
+
+    def iff(self, other: "Node") -> "Iff":
+        """``self IFF other`` (the paper's triple bar)."""
+        return Iff(self, other)
+
+    def xor(self, other: "Node") -> "Xor":
+        """``self XOR other`` (the paper's circled plus)."""
+        return Xor(self, other)
+
+    def __repr__(self) -> str:  # pragma: no cover - delegated to printer
+        from repro.constraints.printer import unparse
+
+        return unparse(self)
+
+
+class Atom(Node):
+    """Base class of atoms.  Every atom has a root category."""
+
+    __slots__ = ()
+    root: Category
+
+    def atoms(self) -> Iterator["Atom"]:
+        yield self
+
+    def children(self) -> Tuple[Node, ...]:
+        return ()
+
+
+@dataclass(frozen=True, repr=False)
+class PathAtom(Atom):
+    """``root_c1_..._cn``: a direct chain through ``path`` exists.
+
+    ``path`` excludes the root; the full category sequence is
+    ``(root,) + path`` and must be a simple path of the hierarchy schema.
+    """
+
+    root: Category
+    path: Tuple[Category, ...]
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("a path atom needs at least one category after the root")
+        object.__setattr__(self, "path", tuple(self.path))
+
+    @property
+    def full_path(self) -> Tuple[Category, ...]:
+        """The category sequence including the root."""
+        return (self.root,) + self.path
+
+    @property
+    def target(self) -> Category:
+        """The last category of the path."""
+        return self.path[-1]
+
+
+@dataclass(frozen=True, repr=False)
+class EqualityAtom(Atom):
+    """``root.category ~ constant``: the member rolls up to a member of
+    ``category`` whose ``Name`` is ``constant``.
+
+    When ``category == root`` the atom constrains the member's own name
+    (the paper abbreviates this as ``c ~ k``).
+    """
+
+    root: Category
+    category: Category
+    constant: str
+
+
+#: Operators allowed in comparison atoms (Section 6 extension).
+COMPARISON_OPS = ("<", "<=", ">", ">=", "!=")
+
+
+@dataclass(frozen=True, repr=False)
+class ComparisonAtom(Atom):
+    """``root.category OP constant`` with an order predicate.
+
+    The Section 6 extension: "We could consider further built-in
+    predicates over attributes, such as an order relation, to extend
+    equality atoms."  The atom holds at a member ``x`` when ``x`` rolls up
+    to a member of ``category`` whose (numeric) name satisfies the
+    comparison.  ``constant`` is kept as written (a numeric literal);
+    members with non-numeric names never satisfy a comparison.
+    """
+
+    root: Category
+    category: Category
+    op: str
+    constant: str
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+        try:
+            float(self.constant)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"comparison atoms need a numeric constant, got {self.constant!r}"
+            ) from None
+
+    @property
+    def threshold(self) -> float:
+        """The numeric value of the constant."""
+        return float(self.constant)
+
+    def compare(self, value: float) -> bool:
+        """Apply the operator to a concrete numeric value."""
+        if self.op == "<":
+            return value < self.threshold
+        if self.op == "<=":
+            return value <= self.threshold
+        if self.op == ">":
+            return value > self.threshold
+        if self.op == ">=":
+            return value >= self.threshold
+        return value != self.threshold
+
+
+@dataclass(frozen=True, repr=False)
+class RollsUpAtom(Atom):
+    """Composed path atom ``root.target``: the member rolls up to
+    ``target``.  Shorthand for the disjunction of all simple path atoms
+    from ``root`` ending at ``target`` (or ``TRUE`` when
+    ``root == target``)."""
+
+    root: Category
+    target: Category
+
+
+@dataclass(frozen=True, repr=False)
+class ThroughAtom(Atom):
+    """Composed path atom ``root.via.target``: the member rolls up to
+    ``target`` passing through ``via`` (Section 3.3)."""
+
+    root: Category
+    via: Category
+    target: Category
+
+
+@dataclass(frozen=True, repr=False)
+class TrueConst(Node):
+    """The true proposition."""
+
+    def atoms(self) -> Iterator[Atom]:
+        return iter(())
+
+    def children(self) -> Tuple[Node, ...]:
+        return ()
+
+
+@dataclass(frozen=True, repr=False)
+class FalseConst(Node):
+    """The false proposition."""
+
+    def atoms(self) -> Iterator[Atom]:
+        return iter(())
+
+    def children(self) -> Tuple[Node, ...]:
+        return ()
+
+
+TRUE = TrueConst()
+FALSE = FalseConst()
+
+
+@dataclass(frozen=True, repr=False)
+class Not(Node):
+    """Negation."""
+
+    child: Node
+
+    def atoms(self) -> Iterator[Atom]:
+        return self.child.atoms()
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.child,)
+
+
+class _NaryNode(Node):
+    """Shared behaviour of n-ary connectives."""
+
+    __slots__ = ()
+    operands: Tuple[Node, ...]
+
+    def atoms(self) -> Iterator[Atom]:
+        for operand in self.operands:
+            yield from operand.atoms()
+
+    def children(self) -> Tuple[Node, ...]:
+        return self.operands
+
+
+@dataclass(frozen=True, repr=False)
+class And(_NaryNode):
+    """Conjunction of two or more operands.
+
+    Nested conjunctions are flattened (conjunction is associative), which
+    gives a canonical shape: an ``And`` never directly contains an ``And``.
+    """
+
+    operands: Tuple[Node, ...]
+
+    def __post_init__(self) -> None:
+        flat: list = []
+        for operand in self.operands:
+            if isinstance(operand, And):
+                flat.extend(operand.operands)
+            else:
+                flat.append(operand)
+        object.__setattr__(self, "operands", tuple(flat))
+        if len(self.operands) < 2:
+            raise ValueError("And needs at least two operands")
+
+
+@dataclass(frozen=True, repr=False)
+class Or(_NaryNode):
+    """Disjunction of two or more operands, flattened like :class:`And`."""
+
+    operands: Tuple[Node, ...]
+
+    def __post_init__(self) -> None:
+        flat: list = []
+        for operand in self.operands:
+            if isinstance(operand, Or):
+                flat.extend(operand.operands)
+            else:
+                flat.append(operand)
+        object.__setattr__(self, "operands", tuple(flat))
+        if len(self.operands) < 2:
+            raise ValueError("Or needs at least two operands")
+
+
+@dataclass(frozen=True, repr=False)
+class Implies(Node):
+    """Material implication ``antecedent IMPLIES consequent``."""
+
+    antecedent: Node
+    consequent: Node
+
+    def atoms(self) -> Iterator[Atom]:
+        yield from self.antecedent.atoms()
+        yield from self.consequent.atoms()
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.antecedent, self.consequent)
+
+
+@dataclass(frozen=True, repr=False)
+class Iff(Node):
+    """Equivalence."""
+
+    left: Node
+    right: Node
+
+    def atoms(self) -> Iterator[Atom]:
+        yield from self.left.atoms()
+        yield from self.right.atoms()
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, repr=False)
+class Xor(Node):
+    """Exclusive disjunction."""
+
+    left: Node
+    right: Node
+
+    def atoms(self) -> Iterator[Atom]:
+        yield from self.left.atoms()
+        yield from self.right.atoms()
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, repr=False)
+class ExactlyOne(_NaryNode):
+    """The paper's ``(.)A`` operator: exactly one operand is true.
+
+    With a single operand it degenerates to that operand; with none it is
+    unsatisfiable.  We require at least one operand and keep the node n-ary
+    because Theorem 1 produces it over arbitrary category sets.
+    """
+
+    operands: Tuple[Node, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operands", tuple(self.operands))
+        if not self.operands:
+            raise ValueError("ExactlyOne needs at least one operand")
+
+
+def constraint_root(node: Node) -> Optional[Category]:
+    """The shared root category of the atoms in ``node``.
+
+    Returns ``None`` for constant expressions (no atoms).  Raises
+    ``ValueError`` if atoms with different roots are mixed, which
+    Definition 3 forbids.
+    """
+    root: Optional[Category] = None
+    for atom in node.atoms():
+        if root is None:
+            root = atom.root
+        elif atom.root != root:
+            raise ValueError(
+                f"atoms with different roots in one constraint: "
+                f"{root!r} and {atom.root!r}"
+            )
+    return root
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Yield ``node`` and every sub-expression, pre-order."""
+    yield node
+    for child in node.children():
+        yield from walk(child)

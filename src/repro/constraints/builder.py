@@ -1,0 +1,73 @@
+"""Terse programmatic constructors for constraint expressions.
+
+The parser (:mod:`repro.constraints.parser`) is the friendliest way to
+write constraints, but generators and tests build thousands of them, so
+this module provides short, positional constructors::
+
+    from repro.constraints.builder import path, rollsup, through, eq, one
+
+    path("Store", "City", "Province")        # Store -> City -> Province
+    rollsup("Store", "SaleRegion")           # Store.SaleRegion
+    through("Store", "City", "Country")      # Store.City.Country
+    eq("Store", "Country", "Canada")         # Store.Country = 'Canada'
+    name_is("City", "Washington")            # City = 'Washington'
+    one(a, b, c)                             # one(a, b, c)
+    into("Store", "City")                    # the into constraint Store -> City
+"""
+
+from __future__ import annotations
+
+from repro.constraints.ast import (
+    ComparisonAtom,
+    EqualityAtom,
+    ExactlyOne,
+    Node,
+    PathAtom,
+    RollsUpAtom,
+    ThroughAtom,
+)
+from repro._types import Category
+
+
+def path(root: Category, *steps: Category) -> PathAtom:
+    """The path atom ``root_step1_..._stepn``."""
+    return PathAtom(root, tuple(steps))
+
+
+def into(child: Category, parent: Category) -> PathAtom:
+    """The *into* constraint ``child_parent``: every member of ``child``
+    has a parent in ``parent`` (Section 5)."""
+    return PathAtom(child, (parent,))
+
+
+def rollsup(root: Category, target: Category) -> RollsUpAtom:
+    """The composed atom ``root.target``."""
+    return RollsUpAtom(root, target)
+
+
+def through(root: Category, via: Category, target: Category) -> ThroughAtom:
+    """The composed atom ``root.via.target``."""
+    return ThroughAtom(root, via, target)
+
+
+def eq(root: Category, category: Category, constant: str) -> EqualityAtom:
+    """The equality atom ``root.category = 'constant'``."""
+    return EqualityAtom(root, category, constant)
+
+
+def name_is(category: Category, constant: str) -> EqualityAtom:
+    """The self equality atom ``category = 'constant'`` (``c ~ k``)."""
+    return EqualityAtom(category, category, constant)
+
+
+def one(*operands: Node) -> ExactlyOne:
+    """The paper's exactly-one operator over the given operands."""
+    return ExactlyOne(tuple(operands))
+
+
+def compare(
+    root: Category, category: Category, op: str, constant: object
+) -> ComparisonAtom:
+    """The order-predicate atom ``root.category OP constant``
+    (Section 6 extension), e.g. ``compare("SKU", "Price", "<", 100)``."""
+    return ComparisonAtom(root, category, op, str(constant))

@@ -1,0 +1,123 @@
+"""Textual rendering of constraint expressions.
+
+The concrete syntax round-trips through :mod:`repro.constraints.parser`:
+``parse(unparse(node))`` is structurally equal to ``node`` (a property the
+test suite checks with hypothesis).  The syntax mirrors the paper:
+
+=====================  =================================
+paper                  text
+=====================  =================================
+``Store_City_Prov``    ``Store -> City -> Prov``
+``Store.SaleRegion``   ``Store.SaleRegion``
+``Store.City.Country`` ``Store.City.Country``
+``City ~ Washington``  ``City = 'Washington'``
+``a AND b``            ``a and b``
+``a OR b``             ``a or b``
+``NOT a``              ``not a``
+``a IMPLIES b``        ``a implies b``
+``a IFF b``            ``a iff b``
+``a XOR b``            ``a xor b``
+``(.)  {a, b}``        ``one(a, b)``
+``TOP / BOTTOM``       ``true`` / ``false``
+=====================  =================================
+"""
+
+from __future__ import annotations
+
+from repro.constraints.ast import (
+    And,
+    ComparisonAtom,
+    EqualityAtom,
+    ExactlyOne,
+    FalseConst,
+    Iff,
+    Implies,
+    Node,
+    Not,
+    Or,
+    PathAtom,
+    RollsUpAtom,
+    ThroughAtom,
+    TrueConst,
+    Xor,
+)
+
+# Binding strength; higher binds tighter.  ``implies`` is lowest and right
+# associative, matching the usual logical convention.
+_PRECEDENCE = {
+    Implies: 1,
+    Iff: 2,
+    Xor: 3,
+    Or: 4,
+    And: 5,
+    Not: 6,
+}
+_ATOM_LEVEL = 7
+
+
+def _level(node: Node) -> int:
+    return _PRECEDENCE.get(type(node), _ATOM_LEVEL)
+
+
+def _quote(constant: str) -> str:
+    escaped = str(constant).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def unparse(node: Node) -> str:
+    """Render ``node`` in the concrete syntax."""
+    return _render(node, 0)
+
+
+def _render(node: Node, parent_level: int) -> str:
+    level = _level(node)
+    text = _render_bare(node)
+    if level < parent_level:
+        return f"({text})"
+    return text
+
+
+def _render_bare(node: Node) -> str:
+    if isinstance(node, TrueConst):
+        return "true"
+    if isinstance(node, FalseConst):
+        return "false"
+    if isinstance(node, PathAtom):
+        return " -> ".join(node.full_path)
+    if isinstance(node, EqualityAtom):
+        if node.category == node.root:
+            return f"{node.root} = {_quote(node.constant)}"
+        return f"{node.root}.{node.category} = {_quote(node.constant)}"
+    if isinstance(node, ComparisonAtom):
+        if node.category == node.root:
+            return f"{node.root} {node.op} {node.constant}"
+        return f"{node.root}.{node.category} {node.op} {node.constant}"
+    if isinstance(node, RollsUpAtom):
+        return f"{node.root}.{node.target}"
+    if isinstance(node, ThroughAtom):
+        return f"{node.root}.{node.via}.{node.target}"
+    if isinstance(node, Not):
+        return f"not {_render(node.child, _PRECEDENCE[Not])}"
+    if isinstance(node, And):
+        return " and ".join(_render(op, _PRECEDENCE[And]) for op in node.operands)
+    if isinstance(node, Or):
+        return " or ".join(_render(op, _PRECEDENCE[Or]) for op in node.operands)
+    if isinstance(node, Xor):
+        # Render left operand one level tighter to keep chains left
+        # associative on re-parse.
+        left = _render(node.left, _PRECEDENCE[Xor])
+        right = _render(node.right, _PRECEDENCE[Xor] + 1)
+        return f"{left} xor {right}"
+    if isinstance(node, Iff):
+        left = _render(node.left, _PRECEDENCE[Iff])
+        right = _render(node.right, _PRECEDENCE[Iff] + 1)
+        return f"{left} iff {right}"
+    if isinstance(node, Implies):
+        # Right associative: the right side may sit at the same level.
+        left = _render(node.antecedent, _PRECEDENCE[Implies] + 1)
+        right = _render(node.consequent, _PRECEDENCE[Implies])
+        return f"{left} implies {right}"
+    if isinstance(node, ExactlyOne):
+        inner = ", ".join(_render(op, 0) for op in node.operands)
+        return f"one({inner})"
+    raise TypeError(f"cannot render node of type {type(node).__name__}")

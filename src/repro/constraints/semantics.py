@@ -1,0 +1,216 @@
+"""Satisfaction of dimension constraints over dimension instances.
+
+Definition 4 of the paper: an instance ``d`` satisfies a constraint with
+root ``c`` when the translated FOL formula ``S(alpha)`` holds for *every*
+member of ``MembSet_c``.  This module evaluates ``S`` directly over
+:class:`~repro.core.instance.DimensionInstance` without building formulas:
+
+* a path atom holds at ``x`` when a direct child/parent chain through the
+  atom's categories exists (:func:`repro.core.rollup.has_category_chain`);
+* an equality atom ``c.ci ~ k`` holds when ``x`` rolls up to (or is) a
+  member of ``ci`` named ``k``;
+* composed atoms are evaluated through rollup reachability, which in valid
+  instances coincides with their disjunction-of-path-atoms expansion (a
+  property the test suite verifies).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Tuple
+
+from repro.constraints.ast import (
+    And,
+    ComparisonAtom,
+    EqualityAtom,
+    ExactlyOne,
+    FalseConst,
+    Iff,
+    Implies,
+    Node,
+    Not,
+    Or,
+    PathAtom,
+    RollsUpAtom,
+    ThroughAtom,
+    TrueConst,
+    Xor,
+    constraint_root,
+)
+from repro._types import Category, Member
+from repro.errors import ConstraintError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.instance import DimensionInstance
+
+
+def _has_category_chain(instance, member, categories):
+    # Late import keeps the constraint package independent of the core
+    # package's initializer (core imports constraints at load time).
+    from repro.core.rollup import has_category_chain
+
+    return has_category_chain(instance, member, categories)
+
+
+def satisfies_at(instance: DimensionInstance, member: Member, node: Node) -> bool:
+    """Evaluate ``S(node)`` at a single member (the free variable ``x``)."""
+    if isinstance(node, TrueConst):
+        return True
+    if isinstance(node, FalseConst):
+        return False
+    if isinstance(node, PathAtom):
+        return _has_category_chain(instance, member, node.path)
+    if isinstance(node, EqualityAtom):
+        return _equality_holds(instance, member, node)
+    if isinstance(node, ComparisonAtom):
+        return _comparison_holds(instance, member, node)
+    if isinstance(node, RollsUpAtom):
+        return instance.rolls_up_to_category(member, node.target)
+    if isinstance(node, ThroughAtom):
+        return _through_holds(instance, member, node)
+    if isinstance(node, Not):
+        return not satisfies_at(instance, member, node.child)
+    if isinstance(node, And):
+        return all(satisfies_at(instance, member, op) for op in node.operands)
+    if isinstance(node, Or):
+        return any(satisfies_at(instance, member, op) for op in node.operands)
+    if isinstance(node, Implies):
+        if not satisfies_at(instance, member, node.antecedent):
+            return True
+        return satisfies_at(instance, member, node.consequent)
+    if isinstance(node, Iff):
+        return satisfies_at(instance, member, node.left) == satisfies_at(
+            instance, member, node.right
+        )
+    if isinstance(node, ExactlyOne):
+        count = 0
+        for operand in node.operands:
+            if satisfies_at(instance, member, operand):
+                count += 1
+                if count > 1:
+                    return False
+        return count == 1
+    if isinstance(node, Xor):
+        return satisfies_at(instance, member, node.left) != satisfies_at(
+            instance, member, node.right
+        )
+    raise ConstraintError(f"cannot evaluate node of type {type(node).__name__}")
+
+
+def _names_equal(name: object, constant: object) -> bool:
+    """Name comparison for equality atoms.
+
+    Raw equality, with a numeric fallback: when both sides parse as
+    floats they compare numerically, so ``= 100`` matches a member whose
+    name the order-predicate machinery stored as ``100.0``.
+    """
+    if name == constant:
+        return True
+    try:
+        return float(name) == float(constant)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return False
+
+
+def _equality_holds(
+    instance: DimensionInstance, member: Member, atom: EqualityAtom
+) -> bool:
+    # S(c.ci ~ k): exists xi in MembSet_ci with x <= xi and Name(xi) = k.
+    if instance.category_of(member) == atom.category:
+        if _names_equal(instance.name(member), atom.constant):
+            return True
+    target = instance.ancestor_in(member, atom.category)
+    if target is None or target == member:
+        return False
+    return _names_equal(instance.name(target), atom.constant)
+
+
+def _comparison_holds(
+    instance: DimensionInstance, member: Member, atom: ComparisonAtom
+) -> bool:
+    # Section 6 extension: exists xi in MembSet_ci with x <= xi and
+    # Name(xi) OP k.  Members with non-numeric names never satisfy a
+    # comparison.
+    target = instance.ancestor_in(member, atom.category)
+    if target is None:
+        return False
+    try:
+        value = float(instance.name(target))  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return False
+    return atom.compare(value)
+
+
+def _through_holds(
+    instance: DimensionInstance, member: Member, atom: ThroughAtom
+) -> bool:
+    c, ci, cj = atom.root, atom.via, atom.target
+    if c == ci == cj:
+        return True
+    if c == cj and c != ci:
+        return False
+    if c == ci and c != cj:
+        return instance.rolls_up_to_category(member, cj)
+    if ci == cj and c != ci:
+        return instance.rolls_up_to_category(member, ci)
+    via_member = instance.ancestor_in(member, ci)
+    if via_member is None:
+        return False
+    return instance.rolls_up_to_category(via_member, cj)
+
+
+def satisfies(
+    instance: DimensionInstance, node: Node, root: Optional[Category] = None
+) -> bool:
+    """Whether ``instance`` satisfies the constraint (Definition 4).
+
+    The constraint must be satisfied by every member of its root category;
+    an empty root category satisfies any constraint vacuously.  Constant
+    expressions (no atoms) need an explicit ``root`` only if they are
+    ``FALSE`` - ``TRUE`` holds regardless.
+    """
+    found = constraint_root(node)
+    if found is None:
+        found = root
+    if found is None:
+        # A constant constraint with no declared root: evaluate directly.
+        return satisfies_at(instance, next(iter(instance.all_members())), node)
+    return all(
+        satisfies_at(instance, member, node) for member in instance.members(found)
+    )
+
+
+def violating_members(
+    instance: DimensionInstance, node: Node, root: Optional[Category] = None
+) -> List[Member]:
+    """The members of the root category at which the constraint fails.
+
+    Empty exactly when :func:`satisfies` is true; used by the audit tooling
+    to point designers at the offending data.
+    """
+    found = constraint_root(node) or root
+    if found is None:
+        raise ConstraintError("constant constraint needs an explicit root category")
+    return [
+        member
+        for member in instance.members(found)
+        if not satisfies_at(instance, member, node)
+    ]
+
+
+def satisfies_all(
+    instance: DimensionInstance, constraints: Iterable[Node]
+) -> bool:
+    """Whether the instance satisfies every constraint in the set."""
+    return all(satisfies(instance, node) for node in constraints)
+
+
+def failures(
+    instance: DimensionInstance, constraints: Iterable[Node]
+) -> Iterator[Tuple[Node, List[Member]]]:
+    """Yield ``(constraint, violating members)`` for each failed constraint."""
+    for node in constraints:
+        bad = violating_members(instance, node) if constraint_root(node) else []
+        if not constraint_root(node) and not satisfies(instance, node):
+            bad = ["<constant>"]
+        if bad:
+            yield (node, bad)

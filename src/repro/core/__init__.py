@@ -1,0 +1,123 @@
+"""Core dimension model: hierarchy schemas, instances, dimension schemas,
+frozen dimensions, the DIMSAT algorithm, implication, and summarizability.
+"""
+
+from repro.core.builder import InstanceBuilder
+from repro.core.explain import (
+    MemberDiagnosis,
+    SummarizabilityExplanation,
+    explain_summarizability_in_instance,
+    explain_summarizability_in_schema,
+)
+from repro.core.dimsat import (
+    DimsatOptions,
+    DimsatResult,
+    DimsatStats,
+    SearchBudgetExceeded,
+    TraceEntry,
+    circle,
+    circle_node,
+    dimsat,
+    enumerate_frozen_dimensions,
+    induced_frozen_dimensions,
+    reduced_constraints,
+    satisfying_assignments,
+)
+from repro.core.frozen import (
+    FrozenDimension,
+    Subhierarchy,
+    phi,
+    subhierarchy_from_edges,
+)
+from repro.core.hierarchy import ALL, Category, Edge, HierarchySchema
+from repro.core.implication import (
+    ImplicationResult,
+    equivalent,
+    implies,
+    is_category_satisfiable,
+    is_implied,
+    prune_unsatisfiable,
+    satisfiability_report,
+    unsatisfiable_categories,
+)
+from repro.core.instance import TOP_MEMBER, DimensionInstance, Member
+from repro.core.normalize import (
+    implied_into_edges,
+    minimize,
+    redundant_constraints,
+    schemas_equivalent,
+    strengthen_with_intos,
+)
+from repro.core.profile import (
+    ReasoningProfile,
+    SchemaProfile,
+    profile_report,
+    reasoning_profile,
+    schema_profile,
+)
+from repro.core.schema import NK, DimensionSchema
+from repro.core.summarizability import (
+    is_summarizable_in_instance,
+    is_summarizable_in_schema,
+    summarizability_constraint,
+    summarizability_constraints,
+    summarizability_matrix,
+    summarizable_sets,
+)
+
+__all__ = [
+    "ALL",
+    "Category",
+    "DimensionInstance",
+    "DimensionSchema",
+    "DimsatOptions",
+    "DimsatResult",
+    "DimsatStats",
+    "Edge",
+    "FrozenDimension",
+    "HierarchySchema",
+    "ImplicationResult",
+    "InstanceBuilder",
+    "Member",
+    "MemberDiagnosis",
+    "SummarizabilityExplanation",
+    "NK",
+    "ReasoningProfile",
+    "SchemaProfile",
+    "SearchBudgetExceeded",
+    "Subhierarchy",
+    "TOP_MEMBER",
+    "TraceEntry",
+    "circle",
+    "circle_node",
+    "dimsat",
+    "enumerate_frozen_dimensions",
+    "equivalent",
+    "explain_summarizability_in_instance",
+    "explain_summarizability_in_schema",
+    "implied_into_edges",
+    "implies",
+    "induced_frozen_dimensions",
+    "is_category_satisfiable",
+    "is_implied",
+    "is_summarizable_in_instance",
+    "is_summarizable_in_schema",
+    "minimize",
+    "phi",
+    "redundant_constraints",
+    "prune_unsatisfiable",
+    "reduced_constraints",
+    "satisfiability_report",
+    "profile_report",
+    "reasoning_profile",
+    "satisfying_assignments",
+    "schema_profile",
+    "schemas_equivalent",
+    "strengthen_with_intos",
+    "subhierarchy_from_edges",
+    "summarizability_constraint",
+    "summarizability_constraints",
+    "summarizability_matrix",
+    "summarizable_sets",
+    "unsatisfiable_categories",
+]

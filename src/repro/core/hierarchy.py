@@ -1,0 +1,295 @@
+"""Hierarchy schemas (Definition 1 of the paper).
+
+A hierarchy schema is a directed graph ``G = (C, NEAREST)`` over a finite set
+of categories containing the distinguished category ``All``.  Unlike most
+earlier dimension models, the paper allows the graph to contain *cycles*
+(Example 4) and *shortcuts* (Example 3), and to have several *bottom*
+categories.  The only structural requirements are:
+
+(a) every category reaches ``All`` through the edge relation, and
+(b) there are no self-loop edges.
+
+The schema is the skeleton for dimension instances
+(:mod:`repro.core.instance`), for dimension constraints
+(:mod:`repro.constraints`), and for the subhierarchies explored by DIMSAT
+(:mod:`repro.core.dimsat`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro._types import ALL, Category, Edge
+from repro.errors import SchemaError
+
+
+class HierarchySchema:
+    """An immutable hierarchy schema ``G = (C, NEAREST)``.
+
+    Parameters
+    ----------
+    categories:
+        The categories of the schema.  ``All`` is added automatically if
+        missing.
+    edges:
+        The child/parent edges between categories; ``(c, c')`` means members
+        of ``c`` may have parents in ``c'`` (written ``c NEAREST c'`` in the
+        paper).
+
+    Raises
+    ------
+    SchemaError
+        If an edge mentions an unknown category, an edge is a self loop, or
+        some category cannot reach ``All``.
+
+    Examples
+    --------
+    >>> g = HierarchySchema(["Store", "City"], [("Store", "City"), ("City", "All")])
+    >>> g.bottom_categories()
+    frozenset({'Store'})
+    >>> g.reaches("Store", "All")
+    True
+    """
+
+    __slots__ = ("_categories", "_edges", "_children", "_parents", "_reach")
+
+    def __init__(self, categories: Iterable[Category], edges: Iterable[Edge]) -> None:
+        cats = set(categories)
+        cats.add(ALL)
+        edge_set = set()
+        for edge in edges:
+            child, parent = edge
+            if child not in cats:
+                raise SchemaError(f"edge {edge!r} mentions unknown category {child!r}")
+            if parent not in cats:
+                raise SchemaError(f"edge {edge!r} mentions unknown category {parent!r}")
+            if child == parent:
+                raise SchemaError(f"self-loop edge {edge!r} is not allowed (Definition 1b)")
+            edge_set.add((child, parent))
+
+        parents: Dict[Category, Set[Category]] = {c: set() for c in cats}
+        children: Dict[Category, Set[Category]] = {c: set() for c in cats}
+        for child, parent in edge_set:
+            parents[child].add(parent)
+            children[parent].add(child)
+
+        self._categories: FrozenSet[Category] = frozenset(cats)
+        self._edges: FrozenSet[Edge] = frozenset(edge_set)
+        self._parents = {c: frozenset(ps) for c, ps in parents.items()}
+        self._children = {c: frozenset(cs) for c, cs in children.items()}
+        self._reach = self._compute_reachability()
+
+        for category in self._categories:
+            if category != ALL and ALL not in self._reach[category]:
+                raise SchemaError(
+                    f"category {category!r} does not reach {ALL!r} (Definition 1a)"
+                )
+
+    def _compute_reachability(self) -> Dict[Category, FrozenSet[Category]]:
+        """Transitive (not reflexive) closure of the edge relation."""
+        reach: Dict[Category, Set[Category]] = {}
+        for start in self._categories:
+            seen: Set[Category] = set()
+            stack = list(self._parents[start])
+            while stack:
+                node = stack.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(self._parents[node])
+            reach[start] = seen
+        return {c: frozenset(s) for c, s in reach.items()}
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def categories(self) -> FrozenSet[Category]:
+        """All categories, including ``All``."""
+        return self._categories
+
+    @property
+    def edges(self) -> FrozenSet[Edge]:
+        """The child/parent edges as ``(child, parent)`` pairs."""
+        return self._edges
+
+    def parents(self, category: Category) -> FrozenSet[Category]:
+        """Categories directly above ``category`` (``G.Out`` in Figure 6)."""
+        self._require(category)
+        return self._parents[category]
+
+    def children(self, category: Category) -> FrozenSet[Category]:
+        """Categories directly below ``category``."""
+        self._require(category)
+        return self._children[category]
+
+    def has_edge(self, child: Category, parent: Category) -> bool:
+        """Whether the edge ``child NEAREST parent`` is in the schema."""
+        return (child, parent) in self._edges
+
+    def has_category(self, category: Category) -> bool:
+        """Whether ``category`` belongs to the schema."""
+        return category in self._categories
+
+    def _require(self, category: Category) -> None:
+        if category not in self._categories:
+            raise SchemaError(f"unknown category {category!r}")
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+
+    def reaches(self, lower: Category, upper: Category) -> bool:
+        """Whether ``lower NEAREST* upper`` (reflexive-transitive closure)."""
+        self._require(lower)
+        self._require(upper)
+        return lower == upper or upper in self._reach[lower]
+
+    def ancestors(self, category: Category) -> FrozenSet[Category]:
+        """Categories strictly above ``category`` (transitive, irreflexive
+        unless the category lies on a cycle)."""
+        self._require(category)
+        return self._reach[category]
+
+    def descendants(self, category: Category) -> FrozenSet[Category]:
+        """Categories strictly below ``category``."""
+        self._require(category)
+        return frozenset(
+            c for c in self._categories if c != category and category in self._reach[c]
+        )
+
+    def bottom_categories(self) -> FrozenSet[Category]:
+        """Categories with no incoming edges (Definition 1 prose)."""
+        return frozenset(
+            c for c in self._categories if not self._children[c] and c != ALL
+        ) or frozenset(
+            # Degenerate schema with only All: treat All as its own bottom.
+            c for c in self._categories if not self._children[c]
+        )
+
+    def is_cyclic(self) -> bool:
+        """Whether the edge relation contains a directed cycle."""
+        return any(c in self._reach[c] for c in self._categories)
+
+    def shortcuts(self) -> FrozenSet[Edge]:
+        """The shortcut edges of the schema.
+
+        A shortcut (Definition 1 prose, Example 3) is an edge ``(c, c')``
+        such that there is also a path from ``c`` to ``c'`` passing through a
+        third category.
+        """
+        found: Set[Edge] = set()
+        for child, parent in self._edges:
+            for mid in self._parents[child]:
+                if mid != parent and self.reaches(mid, parent):
+                    found.add((child, parent))
+                    break
+        return frozenset(found)
+
+    # ------------------------------------------------------------------
+    # Path enumeration (used for composed path atoms and DIMSAT)
+    # ------------------------------------------------------------------
+
+    def simple_paths(self, start: Category, end: Category) -> Iterator[Tuple[Category, ...]]:
+        """Yield every simple path (no repeated category) from ``start`` to
+        ``end``, each as a tuple beginning with ``start`` and ending with
+        ``end``.
+
+        Simple paths are exactly the syntactic objects that path atoms may
+        name (Definition 3), so this enumeration defines the expansion of
+        composed path atoms ``c.ci`` and ``c.ci.cj``.
+        """
+        self._require(start)
+        self._require(end)
+
+        path: List[Category] = [start]
+        on_path: Set[Category] = {start}
+
+        def walk(node: Category) -> Iterator[Tuple[Category, ...]]:
+            if node == end and len(path) > 1:
+                yield tuple(path)
+                return
+            if node == end and start == end:
+                # A path from a category to itself must leave and return,
+                # which a simple path cannot do; only the trivial path
+                # exists and path atoms require length >= 1.
+                return
+            for nxt in sorted(self._parents[node]):
+                if nxt in on_path:
+                    continue
+                path.append(nxt)
+                on_path.add(nxt)
+                yield from walk(nxt)
+                path.pop()
+                on_path.remove(nxt)
+
+        yield from walk(start)
+
+    def is_simple_path(self, path: Sequence[Category]) -> bool:
+        """Whether ``path`` is a simple path of the schema.
+
+        A simple path has at least two categories, no repeats, and an edge
+        between each consecutive pair.
+        """
+        if len(path) < 2 or len(set(path)) != len(path):
+            return False
+        return all(self.has_edge(a, b) for a, b in zip(path, path[1:]))
+
+    # ------------------------------------------------------------------
+    # Convenience constructors and dunder protocol
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_paths(cls, *paths: Sequence[Category]) -> "HierarchySchema":
+        """Build a schema from category paths.
+
+        Each path contributes its categories and consecutive edges; the last
+        category of every path is additionally linked to ``All`` unless it is
+        ``All``.
+
+        >>> g = HierarchySchema.from_paths(["Day", "Month", "Year"])
+        >>> sorted(g.parents("Month"))
+        ['Year']
+        """
+        categories: Set[Category] = set()
+        edges: Set[Edge] = set()
+        for path in paths:
+            if not path:
+                continue
+            categories.update(path)
+            edges.update(zip(path, path[1:]))
+            if path[-1] != ALL:
+                edges.add((path[-1], ALL))
+        return cls(categories, edges)
+
+    def with_edges(self, extra: Iterable[Edge]) -> "HierarchySchema":
+        """A new schema with additional edges."""
+        return HierarchySchema(self._categories, self._edges | set(extra))
+
+    def without_category(self, category: Category) -> "HierarchySchema":
+        """A new schema with ``category`` and its incident edges removed.
+
+        Used by the schema audit to drop unsatisfiable categories
+        (Section 4 of the paper).
+        """
+        if category == ALL:
+            raise SchemaError("cannot remove the distinguished category All")
+        self._require(category)
+        cats = self._categories - {category}
+        edges = {(a, b) for a, b in self._edges if category not in (a, b)}
+        return HierarchySchema(cats, edges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HierarchySchema):
+            return NotImplemented
+        return self._categories == other._categories and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._categories, self._edges))
+
+    def __repr__(self) -> str:
+        return (
+            f"HierarchySchema({len(self._categories)} categories, "
+            f"{len(self._edges)} edges)"
+        )

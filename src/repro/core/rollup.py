@@ -1,0 +1,109 @@
+"""Rollup helpers shared by constraint semantics and the OLAP engine.
+
+The constraint language needs two member-level reachability notions:
+
+* **direct chains** for path atoms: ``c_c1_..._cn`` holds at member ``x``
+  when there is a chain ``x < x1 < ... < xn`` of *direct* child/parent edges
+  with each ``xi`` in category ``ci``;
+* **rollup** for equality and composed atoms: ``x`` reaches an ancestor in a
+  category through the transitive closure of ``<``.
+
+Both are provided here as free functions over
+:class:`~repro.core.instance.DimensionInstance`, kept separate from the
+instance class so the semantics module reads like the paper's definitions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Set, Tuple
+
+from repro.core.hierarchy import Category
+from repro.core.instance import DimensionInstance, Member
+
+
+def has_category_chain(
+    instance: DimensionInstance, member: Member, categories: Sequence[Category]
+) -> bool:
+    """Whether a direct child/parent chain from ``member`` visits exactly
+    the given categories, in order.
+
+    This is the satisfaction condition of a path atom
+    ``c_c1_..._cn`` (Definition 3) at a member of ``c``:
+    ``categories`` is ``(c1, ..., cn)``.
+
+    >>> # has_category_chain(d, "s1", ["City", "Province"]) checks
+    >>> # exists city, province with s1 < city < province.
+    """
+    frontier: Set[Member] = {member}
+    for category in categories:
+        next_frontier: Set[Member] = set()
+        for node in frontier:
+            for parent in instance.parents_of(node):
+                if instance.category_of(parent) == category:
+                    next_frontier.add(parent)
+        if not next_frontier:
+            return False
+        frontier = next_frontier
+    return True
+
+
+def chain_witness(
+    instance: DimensionInstance, member: Member, categories: Sequence[Category]
+) -> Tuple[Member, ...]:
+    """One witness chain ``(x1, ..., xn)`` for a path atom, or ``()``.
+
+    Useful in error messages and in tests that assert *why* a constraint
+    holds.
+    """
+    path: List[Member] = []
+
+    def walk(node: Member, index: int) -> bool:
+        if index == len(categories):
+            return True
+        for parent in sorted(instance.parents_of(node), key=repr):
+            if instance.category_of(parent) == categories[index]:
+                path.append(parent)
+                if walk(parent, index + 1):
+                    return True
+                path.pop()
+        return False
+
+    if walk(member, 0):
+        return tuple(path)
+    return ()
+
+
+def category_paths_from(
+    instance: DimensionInstance, member: Member
+) -> Iterator[Tuple[Category, ...]]:
+    """Yield the category sequence of every maximal direct chain from
+    ``member`` (excluding the member's own category).
+
+    In a valid instance all chains end at the top member, so each yielded
+    tuple ends with ``All``.  The enumeration is the member-level analogue
+    of the subhierarchies DIMSAT explores, and drives the structural
+    summaries used by the heterogeneity audit example.
+    """
+    trail: List[Category] = []
+
+    def walk(node: Member) -> Iterator[Tuple[Category, ...]]:
+        parents = instance.parents_of(node)
+        if not parents:
+            if trail:
+                yield tuple(trail)
+            return
+        for parent in sorted(parents, key=repr):
+            trail.append(instance.category_of(parent))
+            yield from walk(parent)
+            trail.pop()
+
+    yield from walk(member)
+
+
+def reached_categories(
+    instance: DimensionInstance, member: Member
+) -> frozenset:
+    """The set of categories ``member`` rolls up to (strictly above it)."""
+    return frozenset(
+        instance.category_of(a) for a in instance.ancestors_of(member)
+    )

@@ -1,0 +1,187 @@
+"""Summarizability (Section 3.3, Theorem 1).
+
+A category ``c`` is *summarizable* from a set ``S`` of categories in a
+dimension ``d`` when, for every fact table and every distributive aggregate
+function, the cube view at ``c`` can be recomputed from the cube views at
+the categories of ``S`` (Definition 6).  Theorem 1 characterizes this with
+a dimension constraint per bottom category::
+
+    c_b.c  IMPLIES  one( c_b.ci.c  for ci in S )
+
+that is, every base member reaching ``c`` must reach it through exactly
+one of the categories in ``S``.  This module builds that constraint and
+tests it at two levels:
+
+* **instance level** - evaluate the constraint over a concrete
+  :class:`~repro.core.instance.DimensionInstance` (Definition 4);
+* **schema level** - decide whether every instance of a
+  :class:`~repro.core.schema.DimensionSchema` satisfies it, via the
+  implication test of :mod:`repro.core.implication`.
+
+The OLAP navigator (:mod:`repro.olap.navigator`) consumes the instance
+level test; the cross-validation experiment (E12) verifies the
+characterization against Definition 6 executed on real fact tables.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.constraints.ast import FALSE, ExactlyOne, Implies, Node, RollsUpAtom, ThroughAtom
+from repro.constraints.semantics import satisfies
+from repro.core.dimsat import DimsatOptions
+from repro.core.hierarchy import ALL, Category, HierarchySchema
+from repro.core.implication import is_implied
+from repro.core.instance import DimensionInstance
+from repro.core.schema import DimensionSchema
+from repro.errors import SchemaError
+
+
+def summarizability_constraint(
+    bottom: Category, target: Category, sources: Iterable[Category]
+) -> Node:
+    """The Theorem 1 constraint for one bottom category.
+
+    ``c_b.c IMPLIES one(c_b.ci.c, ...)``; with an empty source set the
+    consequent is ``FALSE`` (no base member may reach the target at all).
+    """
+    source_list = sorted(set(sources))
+    antecedent = RollsUpAtom(bottom, target)
+    if not source_list:
+        consequent: Node = FALSE
+    else:
+        consequent = ExactlyOne(
+            tuple(ThroughAtom(bottom, ci, target) for ci in source_list)
+        )
+    return Implies(antecedent, consequent)
+
+
+def summarizability_constraints(
+    hierarchy: HierarchySchema, target: Category, sources: Iterable[Category]
+) -> List[Tuple[Category, Node]]:
+    """The Theorem 1 constraint for every bottom category, as
+    ``(bottom, constraint)`` pairs."""
+    sources = list(sources)
+    return [
+        (bottom, summarizability_constraint(bottom, target, sources))
+        for bottom in sorted(hierarchy.bottom_categories())
+    ]
+
+
+def is_summarizable_in_instance(
+    instance: DimensionInstance,
+    target: Category,
+    sources: Iterable[Category],
+) -> bool:
+    """Theorem 1 at the instance level.
+
+    >>> from repro.generators.location import location_instance
+    >>> d = location_instance()
+    >>> is_summarizable_in_instance(d, "Country", ["City"])
+    True
+    >>> is_summarizable_in_instance(d, "Country", ["State", "Province"])
+    False
+    """
+    _check_categories(instance.hierarchy, target, sources)
+    for bottom, node in summarizability_constraints(
+        instance.hierarchy, target, sources
+    ):
+        if not satisfies(instance, node, root=bottom):
+            return False
+    return True
+
+
+def is_summarizable_in_schema(
+    schema: DimensionSchema,
+    target: Category,
+    sources: Iterable[Category],
+    options: Optional[DimsatOptions] = None,
+) -> bool:
+    """Theorem 1 at the schema level: the constraint must be *implied*.
+
+    True exactly when ``target`` is summarizable from ``sources`` in every
+    instance of the schema, which is the test an aggregate navigator needs
+    before trusting a rewriting for all future data.
+    """
+    _check_categories(schema.hierarchy, target, sources)
+    for bottom, node in summarizability_constraints(
+        schema.hierarchy, target, sources
+    ):
+        if bottom == ALL:
+            continue
+        if not is_implied(schema, node, options):
+            return False
+    return True
+
+
+def _check_categories(
+    hierarchy: HierarchySchema, target: Category, sources: Iterable[Category]
+) -> None:
+    for category in [target, *sources]:
+        if not hierarchy.has_category(category):
+            raise SchemaError(f"unknown category {category!r}")
+
+
+def summarizable_sets(
+    schema: DimensionSchema,
+    target: Category,
+    candidates: Optional[Iterable[Category]] = None,
+    max_size: int = 3,
+    options: Optional[DimsatOptions] = None,
+) -> List[FrozenSet[Category]]:
+    """Minimal source sets from which ``target`` is schema-summarizable.
+
+    Searches subsets of ``candidates`` (default: every category strictly
+    between some bottom category and ``target``) by increasing size and
+    keeps only minimal sets; supersets of a found set are skipped.  This
+    is the search an OLAP system runs when choosing which aggregate views
+    suffice to answer a query level (Section 6's view-selection use case).
+    """
+    hierarchy = schema.hierarchy
+    if candidates is None:
+        pool: Set[Category] = set()
+        for category in hierarchy.categories:
+            if category in (ALL, target):
+                continue
+            if hierarchy.reaches(category, target):
+                pool.add(category)
+        candidates = pool
+    candidate_list = sorted(set(candidates))
+
+    found: List[FrozenSet[Category]] = []
+    for size in range(1, max_size + 1):
+        for combo in combinations(candidate_list, size):
+            combo_set = frozenset(combo)
+            if any(known <= combo_set for known in found):
+                continue
+            if is_summarizable_in_schema(schema, target, combo_set, options):
+                found.append(combo_set)
+    return found
+
+
+def summarizability_matrix(
+    instance: DimensionInstance,
+    targets: Optional[Sequence[Category]] = None,
+    singletons: Optional[Sequence[Category]] = None,
+) -> List[Tuple[Category, Category, bool]]:
+    """Instance-level summarizability for all (target, {source}) pairs.
+
+    A compact overview used by the heterogeneity-audit example and the
+    DNF-loss benchmark (E14): each row says whether the cube view at
+    ``target`` can be derived from the one at ``source`` alone.
+    """
+    hierarchy = instance.hierarchy
+    all_categories = sorted(hierarchy.categories - {ALL})
+    targets = list(targets) if targets is not None else all_categories
+    singletons = list(singletons) if singletons is not None else all_categories
+    rows: List[Tuple[Category, Category, bool]] = []
+    for target in targets:
+        for source in singletons:
+            if source == target:
+                continue
+            if not hierarchy.reaches(source, target):
+                continue
+            verdict = is_summarizable_in_instance(instance, target, [source])
+            rows.append((source, target, verdict))
+    return rows

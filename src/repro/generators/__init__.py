@@ -1,0 +1,77 @@
+"""Generators: the paper example, synthetic schemas, suites, workloads."""
+
+from repro.generators.location import (
+    LOCATION_CONSTRAINTS,
+    expected_frozen_names,
+    figure5_subhierarchy,
+    location_hierarchy,
+    location_instance,
+    location_schema,
+    paper_frozen_structures,
+)
+from repro.generators.random_schema import (
+    RandomSchemaConfig,
+    bottom_category,
+    make_unsatisfiable,
+    random_hierarchy,
+    random_schema,
+    schemas_by_size,
+)
+from repro.generators.sat_encoding import (
+    Cnf,
+    decode_assignment,
+    encode,
+    phase_transition_cnf,
+    random_3cnf,
+)
+from repro.generators.suite import (
+    geography_instance,
+    geography_schema,
+    personnel_instance,
+    personnel_schema,
+    product_instance,
+    product_schema,
+    suite_schemas,
+    time_instance,
+    time_schema,
+)
+from repro.generators.workloads import (
+    implication_workload,
+    instance_from_frozen,
+    random_fact_table,
+    summarizability_workload,
+)
+
+__all__ = [
+    "Cnf",
+    "LOCATION_CONSTRAINTS",
+    "RandomSchemaConfig",
+    "bottom_category",
+    "decode_assignment",
+    "encode",
+    "expected_frozen_names",
+    "figure5_subhierarchy",
+    "geography_instance",
+    "geography_schema",
+    "implication_workload",
+    "instance_from_frozen",
+    "location_hierarchy",
+    "location_instance",
+    "location_schema",
+    "make_unsatisfiable",
+    "paper_frozen_structures",
+    "personnel_instance",
+    "personnel_schema",
+    "phase_transition_cnf",
+    "product_instance",
+    "product_schema",
+    "random_3cnf",
+    "random_fact_table",
+    "random_hierarchy",
+    "random_schema",
+    "schemas_by_size",
+    "suite_schemas",
+    "summarizability_workload",
+    "time_instance",
+    "time_schema",
+]

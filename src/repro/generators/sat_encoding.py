@@ -1,0 +1,135 @@
+"""3-SAT as category satisfiability (Theorem 4, experiment E8).
+
+The paper proves category satisfiability NP-complete "by a straightforward
+reduction from SAT".  The reduction implemented here:
+
+* one category ``V_i`` per propositional variable, a root category ``Q``,
+  and a dummy category ``T``;
+* edges ``Q -> V_i`` for every variable, ``Q -> T``, and ``V_i, T -> All``;
+* the constraint ``Q -> T`` (so condition (C7) never interferes with an
+  all-false assignment);
+* per clause, the disjunction of its literals with ``x_i`` encoded as the
+  path atom ``Q -> V_i`` and ``NOT x_i`` as its negation.
+
+A subhierarchy with root ``Q`` picks a subset of the ``V_i`` - exactly a
+truth assignment - and satisfies the constraint set iff the assignment
+satisfies the formula, so::
+
+    Q satisfiable in encode(phi)  <=>  phi satisfiable.
+
+The module also ships a tiny CNF toolkit (random 3-CNF generation and a
+brute-force satisfiability oracle) so the tests can verify the
+equivalence on random formulas and the benchmark can measure DIMSAT as a
+SAT solver (it will not win any competitions; the point is the hardness
+shape).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro._types import ALL
+from repro.constraints.ast import Node, Not, Or, PathAtom
+from repro.core.hierarchy import HierarchySchema
+from repro.core.schema import DimensionSchema
+
+#: A literal: (variable index, polarity); ``(2, False)`` is ``NOT x2``.
+Literal = Tuple[int, bool]
+Clause = Tuple[Literal, ...]
+
+ROOT = "Q"
+DUMMY = "T"
+
+
+@dataclass(frozen=True)
+class Cnf:
+    """A CNF formula over variables ``x0 .. x_{n_vars-1}``."""
+
+    n_vars: int
+    clauses: Tuple[Clause, ...]
+
+    def evaluate(self, assignment: Sequence[bool]) -> bool:
+        """Whether the assignment satisfies every clause."""
+        return all(
+            any(assignment[var] == polarity for var, polarity in clause)
+            for clause in self.clauses
+        )
+
+    def brute_force_satisfiable(self) -> bool:
+        """The ground-truth oracle: try all ``2^n`` assignments."""
+        for bits in itertools.product((False, True), repeat=self.n_vars):
+            if self.evaluate(bits):
+                return True
+        return False
+
+
+def variable_category(index: int) -> str:
+    """The category encoding variable ``x_index``."""
+    return f"V{index}"
+
+
+def encode(cnf: Cnf) -> DimensionSchema:
+    """The dimension schema whose root-category satisfiability equals the
+    formula's satisfiability.
+
+    >>> cnf = Cnf(2, (((0, True), (1, True)),))
+    >>> from repro.core import is_category_satisfiable
+    >>> is_category_satisfiable(encode(cnf), ROOT)
+    True
+    """
+    variables = [variable_category(i) for i in range(cnf.n_vars)]
+    categories = [ROOT, DUMMY, *variables]
+    edges = [(ROOT, DUMMY), (DUMMY, ALL)]
+    for category in variables:
+        edges.append((ROOT, category))
+        edges.append((category, ALL))
+    hierarchy = HierarchySchema(categories, edges)
+
+    constraints: List[Node] = [PathAtom(ROOT, (DUMMY,))]
+    for clause in cnf.clauses:
+        literals: List[Node] = []
+        for var, polarity in clause:
+            atom = PathAtom(ROOT, (variable_category(var),))
+            literals.append(atom if polarity else Not(atom))
+        if len(literals) == 1:
+            constraints.append(literals[0])
+        else:
+            constraints.append(Or(tuple(literals)))
+    return DimensionSchema(hierarchy, constraints)
+
+
+def decode_assignment(
+    cnf: Cnf, categories: FrozenSet[str]
+) -> List[bool]:
+    """Read the truth assignment off a frozen dimension's categories."""
+    return [variable_category(i) in categories for i in range(cnf.n_vars)]
+
+
+def random_3cnf(
+    n_vars: int, n_clauses: int, seed: int = 0
+) -> Cnf:
+    """A random 3-CNF formula (distinct variables within each clause).
+
+    At ratio ``n_clauses / n_vars ~ 4.26`` the instances sit near the
+    satisfiability phase transition, which is where the E8 benchmark
+    samples.
+    """
+    if n_vars < 3:
+        raise ValueError("random_3cnf needs at least 3 variables")
+    rng = random.Random(seed)
+    clauses: List[Clause] = []
+    for _ in range(n_clauses):
+        variables = rng.sample(range(n_vars), 3)
+        clause = tuple(
+            (var, rng.random() < 0.5) for var in variables
+        )
+        clauses.append(clause)
+    return Cnf(n_vars, tuple(clauses))
+
+
+def phase_transition_cnf(n_vars: int, seed: int = 0, ratio: float = 4.26) -> Cnf:
+    """A random 3-CNF at the hard clause/variable ratio."""
+    return random_3cnf(n_vars, max(1, round(ratio * n_vars)), seed)

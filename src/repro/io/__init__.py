@@ -1,0 +1,46 @@
+"""Serialization: JSON schemas/instances, DOT diagrams, CSV loading."""
+
+from repro.io.ascii import hierarchy_tree, instance_tree
+from repro.io.csvload import facts_from_csv, facts_to_csv, instance_from_csv
+from repro.io.dot import (
+    frozen_set_to_dot,
+    frozen_to_dot,
+    hierarchy_to_dot,
+    instance_to_dot,
+)
+from repro.io.markdown import schema_report
+from repro.io.json_io import (
+    hierarchy_from_dict,
+    hierarchy_to_dict,
+    instance_from_dict,
+    instance_from_json,
+    instance_to_dict,
+    instance_to_json,
+    schema_from_dict,
+    schema_from_json,
+    schema_to_dict,
+    schema_to_json,
+)
+
+__all__ = [
+    "facts_from_csv",
+    "facts_to_csv",
+    "frozen_set_to_dot",
+    "frozen_to_dot",
+    "hierarchy_from_dict",
+    "hierarchy_to_dict",
+    "hierarchy_to_dot",
+    "hierarchy_tree",
+    "instance_from_csv",
+    "instance_from_dict",
+    "instance_from_json",
+    "instance_to_dict",
+    "instance_to_json",
+    "instance_to_dot",
+    "instance_tree",
+    "schema_from_dict",
+    "schema_from_json",
+    "schema_report",
+    "schema_to_dict",
+    "schema_to_json",
+]

@@ -1,0 +1,96 @@
+"""Plain-text rendering of hierarchies and instances.
+
+Terminal-friendly companions to the DOT exporters: category DAGs as
+indented trees (shared sub-DAGs repeat, marked with ``*``), member forests
+grouped under their rollup chains.  Used by ``repro-olap show``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro._types import ALL, Category, Member
+from repro.core.hierarchy import HierarchySchema
+from repro.core.instance import TOP_MEMBER, DimensionInstance
+
+
+def hierarchy_tree(hierarchy: HierarchySchema) -> str:
+    """The category DAG as a top-down indented tree rooted at ``All``.
+
+    A category reachable along several paths is printed each time; repeat
+    visits are marked with ``*`` and not expanded again, so cyclic schemas
+    render finitely.
+
+    >>> from repro.generators.location import location_hierarchy
+    >>> print(hierarchy_tree(location_hierarchy()))  # doctest: +ELLIPSIS
+    All
+    └── Country
+        ├── City
+        ...
+    """
+    lines: List[str] = []
+
+    def walk(category: Category, prefix: str, is_last: bool, seen: Set[Category]) -> None:
+        connector = "" if not prefix and category == ALL else (
+            "└── " if is_last else "├── "
+        )
+        marker = " *" if category in seen else ""
+        if category == ALL and not prefix:
+            lines.append(ALL)
+        else:
+            lines.append(f"{prefix}{connector}{category}{marker}")
+        if category in seen:
+            return
+        seen = seen | {category}
+        children = sorted(hierarchy.children(category))
+        extension = "    " if is_last or not prefix and category == ALL else "│   "
+        child_prefix = prefix + ("" if not prefix and category == ALL else extension)
+        for index, child in enumerate(children):
+            walk(child, child_prefix, index == len(children) - 1, seen)
+
+    walk(ALL, "", True, set())
+    return "\n".join(lines)
+
+
+def instance_tree(
+    instance: DimensionInstance, max_members_per_category: int = 20
+) -> str:
+    """The member forest, top down from ``all``.
+
+    Members with several children render each child once; members
+    reachable along several paths are marked ``*`` on repeat visits.
+    Categories with more than ``max_members_per_category`` children under
+    one parent are elided with a count.
+    """
+    lines: List[str] = []
+
+    def label(member: Member) -> str:
+        category = instance.category_of(member)
+        name = instance.name(member)
+        shown = f"{member}" if name == member else f"{member} (name={name})"
+        return f"{shown} [{category}]"
+
+    def walk(member: Member, prefix: str, is_last: bool, seen: Set[Member]) -> None:
+        connector = "└── " if is_last else "├── "
+        marker = " *" if member in seen else ""
+        if member == TOP_MEMBER and not prefix:
+            lines.append("all [All]")
+        else:
+            lines.append(f"{prefix}{connector}{label(member)}{marker}")
+        if member in seen:
+            return
+        seen = seen | {member}
+        children = sorted(instance.children_of(member), key=repr)
+        shown = children[:max_members_per_category]
+        extension = "    " if is_last or member == TOP_MEMBER else "│   "
+        child_prefix = prefix + ("" if not prefix and member == TOP_MEMBER else extension)
+        for index, child in enumerate(shown):
+            last = index == len(shown) - 1 and len(shown) == len(children)
+            walk(child, child_prefix, last, seen)
+        if len(children) > len(shown):
+            lines.append(
+                f"{child_prefix}└── ... {len(children) - len(shown)} more"
+            )
+
+    walk(TOP_MEMBER, "", True, set())
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""OLAP substrate: distributive aggregates, fact tables, cube views
+(Definition 6), and the summarizability-driven aggregate navigator.
+"""
+
+from repro.olap.aggregates import (
+    COUNT,
+    DISTRIBUTIVE,
+    MAX,
+    MIN,
+    SUM,
+    AggregateFunction,
+    all_aggregates,
+    by_name,
+)
+from repro.olap.cubeview import CubeView, cube_view, recombine, views_equal
+from repro.olap.engine import OlapEngine
+from repro.olap.facttable import Fact, FactTable
+from repro.olap.maintenance import MaintainedNavigator, apply_delta
+from repro.olap.multidim import (
+    Cube,
+    MultiCubeView,
+    MultiFact,
+    MultiNavigator,
+    multi_views_equal,
+)
+from repro.olap.navigator import AggregateNavigator, NavigatorStats, QueryPlan
+from repro.olap.viewselect import (
+    Selection,
+    ViewSelectionProblem,
+    coverage,
+    evaluate_selection,
+    exhaustive_select,
+    greedy_select,
+    is_sufficient,
+    naive_lattice_coverage,
+)
+
+__all__ = [
+    "AggregateFunction",
+    "AggregateNavigator",
+    "COUNT",
+    "CubeView",
+    "DISTRIBUTIVE",
+    "Fact",
+    "FactTable",
+    "Cube",
+    "MAX",
+    "MIN",
+    "MaintainedNavigator",
+    "MultiCubeView",
+    "MultiFact",
+    "MultiNavigator",
+    "NavigatorStats",
+    "OlapEngine",
+    "QueryPlan",
+    "SUM",
+    "Selection",
+    "ViewSelectionProblem",
+    "all_aggregates",
+    "apply_delta",
+    "by_name",
+    "coverage",
+    "cube_view",
+    "evaluate_selection",
+    "exhaustive_select",
+    "greedy_select",
+    "is_sufficient",
+    "multi_views_equal",
+    "naive_lattice_coverage",
+    "recombine",
+    "views_equal",
+]

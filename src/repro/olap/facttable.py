@@ -1,0 +1,117 @@
+"""Fact tables (Section 3.3).
+
+A fact table ``F`` holds facts at the *base* granularity of a dimension:
+each row references a member of a bottom category and carries one or more
+numeric measures.  The paper's cube views are single-dimension aggregates,
+so the fact table is keyed by one dimension; multi-dimensional cubes are a
+cartesian composition the engine does not need for any experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from repro._types import Member
+from repro.core.instance import DimensionInstance
+from repro.errors import OlapError
+
+
+@dataclass(frozen=True)
+class Fact:
+    """One row: a base member plus its measures."""
+
+    member: Member
+    measures: Mapping[str, float]
+
+    def value(self, measure: str) -> float:
+        try:
+            return self.measures[measure]
+        except KeyError:
+            raise OlapError(f"fact has no measure {measure!r}") from None
+
+
+class FactTable:
+    """An immutable collection of facts over one dimension instance.
+
+    Construction verifies that every fact references a member of a bottom
+    category (the paper requires facts at the base granularity) and that
+    all rows carry the same measure names.
+
+    Examples
+    --------
+    >>> from repro.generators.location import location_instance
+    >>> d = location_instance()
+    >>> facts = FactTable(d, [("s1", {"sales": 10.0}), ("s3", {"sales": 5.0})])
+    >>> len(facts)
+    2
+    """
+
+    __slots__ = ("instance", "_facts", "_measures")
+
+    def __init__(
+        self,
+        instance: DimensionInstance,
+        rows: Iterable[Tuple[Member, Mapping[str, float]]],
+    ) -> None:
+        self.instance = instance
+        base = instance.base_members()
+        facts: List[Fact] = []
+        measures: set = set()
+        for member, values in rows:
+            if member not in base:
+                raise OlapError(
+                    f"fact references {member!r}, which is not a member of a "
+                    f"bottom category"
+                )
+            fact = Fact(member, dict(values))
+            if facts and set(fact.measures) != measures:
+                raise OlapError(
+                    f"fact for {member!r} has measures {sorted(fact.measures)}, "
+                    f"expected {sorted(measures)}"
+                )
+            measures = set(fact.measures)
+            facts.append(fact)
+        self._facts: Tuple[Fact, ...] = tuple(facts)
+        self._measures = frozenset(measures)
+
+    @property
+    def measures(self) -> frozenset:
+        """The measure names all rows carry."""
+        return self._measures
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def members(self) -> List[Member]:
+        """The base members referenced, with multiplicity."""
+        return [fact.member for fact in self._facts]
+
+    def values(self, measure: str) -> List[float]:
+        """All values of one measure, in row order."""
+        return [fact.value(measure) for fact in self._facts]
+
+    def group_by_member(self, measure: str) -> Dict[Member, List[float]]:
+        """Measure values grouped by base member."""
+        grouped: Dict[Member, List[float]] = {}
+        for fact in self._facts:
+            grouped.setdefault(fact.member, []).append(fact.value(measure))
+        return grouped
+
+    def restrict(self, members: Sequence[Member]) -> "FactTable":
+        """A new fact table with only the rows of the given members."""
+        wanted = set(members)
+        return FactTable(
+            self.instance,
+            (
+                (fact.member, fact.measures)
+                for fact in self._facts
+                if fact.member in wanted
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return f"FactTable({len(self._facts)} facts, measures={sorted(self._measures)})"

@@ -1,0 +1,216 @@
+"""The aggregate navigator (Sections 1.2 and 6).
+
+Kimball's *aggregate navigator* rewrites an incoming aggregate query to
+use precomputed aggregate views instead of the base fact table.  The
+paper's point is that in heterogeneous dimensions the rewriting is only
+correct when the target category is *summarizable* from the materialized
+categories - and that dimension constraints let the system decide this.
+
+:class:`AggregateNavigator` implements that loop:
+
+1. queries for a materialized category are answered directly;
+2. otherwise it searches subsets of the materialized categories for one
+   the target is summarizable from (Theorem 1) and recombines
+   (Definition 6 RHS);
+3. otherwise it falls back to a base-table scan (or raises when
+   ``rewrites_only`` is set).
+
+Summarizability can be checked at the *instance* level (valid for the
+current data) or the *schema* level (valid for every instance of the
+dimension schema - the safe choice when data evolves under the same
+constraints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro._types import Category
+from repro.core.instance import DimensionInstance
+from repro.core.schema import DimensionSchema
+from repro.core.summarizability import (
+    is_summarizable_in_instance,
+    is_summarizable_in_schema,
+)
+from repro.errors import NavigationError, OlapError
+from repro.olap.aggregates import AggregateFunction
+from repro.olap.cubeview import CubeView, cube_view, recombine
+from repro.olap.facttable import FactTable
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """How a cube-view query was (or would be) answered.
+
+    ``kind`` is ``"materialized"``, ``"rewritten"``, or ``"base-scan"``;
+    ``sources`` lists the views a rewriting reads; ``cost`` counts the
+    rows read under the standard row-count cost model.
+    """
+
+    kind: str
+    target: Category
+    sources: Tuple[Category, ...]
+    cost: int
+
+
+@dataclass
+class NavigatorStats:
+    """Cumulative counters across a navigator's lifetime."""
+
+    queries: int = 0
+    materialized_hits: int = 0
+    rewrites: int = 0
+    base_scans: int = 0
+    rows_read: int = 0
+    summarizability_checks: int = 0
+
+
+class AggregateNavigator:
+    """Answers single-category cube views from materialized aggregates.
+
+    Parameters
+    ----------
+    facts:
+        The base fact table.
+    schema:
+        Optional dimension schema.  When given, summarizability is decided
+        at the schema level (sound for any future instance); otherwise the
+        current instance decides.
+    max_rewrite_sources:
+        Upper bound on how many views a rewriting may combine.
+    rewrites_only:
+        When true, a query with no correct rewriting raises
+        :class:`NavigationError` instead of scanning the base table.
+    """
+
+    def __init__(
+        self,
+        facts: FactTable,
+        schema: Optional[DimensionSchema] = None,
+        max_rewrite_sources: int = 3,
+        rewrites_only: bool = False,
+    ) -> None:
+        self.facts = facts
+        self.instance: DimensionInstance = facts.instance
+        self.schema = schema
+        self.max_rewrite_sources = max_rewrite_sources
+        self.rewrites_only = rewrites_only
+        self.stats = NavigatorStats()
+        self._views: Dict[Tuple[Category, str, str], CubeView] = {}
+        self._summarizable_cache: Dict[
+            Tuple[Category, FrozenSet[Category]], bool
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+
+    def materialize(
+        self, category: Category, aggregate: AggregateFunction, measure: str
+    ) -> CubeView:
+        """Build and cache the cube view at ``category``."""
+        key = (category, aggregate.name, measure)
+        view = cube_view(self.facts, category, aggregate, measure)
+        self._views[key] = view
+        return view
+
+    def materialized_categories(
+        self, aggregate: AggregateFunction, measure: str
+    ) -> List[Category]:
+        """Categories with a stored view for this aggregate and measure."""
+        return sorted(
+            category
+            for (category, agg_name, m) in self._views
+            if agg_name == aggregate.name and m == measure
+        )
+
+    def drop(self, category: Category, aggregate: AggregateFunction, measure: str) -> None:
+        """Discard a materialized view (no-op when absent)."""
+        self._views.pop((category, aggregate.name, measure), None)
+
+    # ------------------------------------------------------------------
+    # Query answering
+    # ------------------------------------------------------------------
+
+    def answer(
+        self, category: Category, aggregate: AggregateFunction, measure: str
+    ) -> Tuple[CubeView, QueryPlan]:
+        """Answer ``CubeView(d, F, category, aggregate(measure))``.
+
+        Returns the view together with the plan that produced it.
+        """
+        self.stats.queries += 1
+        key = (category, aggregate.name, measure)
+        stored = self._views.get(key)
+        if stored is not None:
+            self.stats.materialized_hits += 1
+            plan = QueryPlan("materialized", category, (category,), cost=0)
+            return stored, plan
+
+        rewrite = self._find_rewriting(category, aggregate, measure)
+        if rewrite is not None:
+            sources, views = rewrite
+            result = recombine(self.instance, category, views, aggregate)
+            self.stats.rewrites += 1
+            self.stats.rows_read += result.rows_scanned
+            plan = QueryPlan("rewritten", category, sources, cost=result.rows_scanned)
+            return result, plan
+
+        if self.rewrites_only:
+            raise NavigationError(
+                f"no correct rewriting for category {category!r} from "
+                f"{self.materialized_categories(aggregate, measure)}"
+            )
+        result = cube_view(self.facts, category, aggregate, measure)
+        self.stats.base_scans += 1
+        self.stats.rows_read += result.rows_scanned
+        plan = QueryPlan("base-scan", category, (), cost=result.rows_scanned)
+        return result, plan
+
+    # ------------------------------------------------------------------
+    # Rewriting search
+    # ------------------------------------------------------------------
+
+    def _is_summarizable(self, target: Category, sources: FrozenSet[Category]) -> bool:
+        key = (target, sources)
+        cached = self._summarizable_cache.get(key)
+        if cached is not None:
+            return cached
+        self.stats.summarizability_checks += 1
+        if self.schema is not None:
+            verdict = is_summarizable_in_schema(self.schema, target, sources)
+        else:
+            verdict = is_summarizable_in_instance(self.instance, target, sources)
+        self._summarizable_cache[key] = verdict
+        return verdict
+
+    def _find_rewriting(
+        self, target: Category, aggregate: AggregateFunction, measure: str
+    ) -> Optional[Tuple[Tuple[Category, ...], List[CubeView]]]:
+        """The cheapest proven-correct rewriting, if any.
+
+        Candidate source sets are subsets of the materialized categories
+        below the target, tried in order of increasing total view size so
+        the first hit is also the cheapest under the row-count model.
+        """
+        available = [
+            category
+            for category in self.materialized_categories(aggregate, measure)
+            if category != target
+            and self.instance.hierarchy.reaches(category, target)
+        ]
+        candidates: List[Tuple[int, Tuple[Category, ...]]] = []
+        for size in range(1, min(self.max_rewrite_sources, len(available)) + 1):
+            for combo in combinations(available, size):
+                total = sum(
+                    len(self._views[(c, aggregate.name, measure)]) for c in combo
+                )
+                candidates.append((total, combo))
+        candidates.sort()
+        for _total, combo in candidates:
+            if self._is_summarizable(target, frozenset(combo)):
+                views = [self._views[(c, aggregate.name, measure)] for c in combo]
+                return combo, views
+        return None

@@ -1,0 +1,88 @@
+"""Brute-force oracle tests: agreement with DIMSAT on the paper example
+and on small synthetic schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    BruteForceStats,
+    brute_force_frozen_dimensions,
+    brute_force_implies,
+    brute_force_satisfiable,
+    candidate_subhierarchies,
+)
+from repro.core import ALL, dimsat, enumerate_frozen_dimensions, is_implied
+from repro.errors import SchemaError
+from repro.generators.location import paper_frozen_structures
+from repro.generators.random_schema import RandomSchemaConfig, random_schema
+
+
+class TestCandidates:
+    def test_candidates_are_valid_structures(self, loc_schema):
+        for sub in candidate_subhierarchies(loc_schema, "Store"):
+            sub.validate(loc_schema.hierarchy)
+            assert sub.is_acyclic()
+            assert not sub.shortcut_edges()
+
+    def test_candidates_include_paper_structures(self, loc_schema):
+        found = set(candidate_subhierarchies(loc_schema, "Store"))
+        for sub in paper_frozen_structures().values():
+            assert sub in found
+
+
+class TestSatisfiability:
+    def test_location_store(self, loc_schema):
+        assert brute_force_satisfiable(loc_schema, "Store")
+
+    def test_example11(self, loc_schema):
+        extended = loc_schema.with_constraints(["not SaleRegion -> Country"])
+        assert not brute_force_satisfiable(extended, "SaleRegion")
+
+    def test_all_always_satisfiable(self, loc_schema):
+        assert brute_force_satisfiable(loc_schema, ALL)
+
+    def test_unknown_category(self, loc_schema):
+        with pytest.raises(SchemaError):
+            brute_force_satisfiable(loc_schema, "Galaxy")
+
+    def test_stats_counters(self, loc_schema):
+        stats = BruteForceStats()
+        brute_force_satisfiable(loc_schema, "Store", stats)
+        assert stats.valid_subhierarchies > 0
+        assert stats.candidates_tested > 0
+
+
+class TestAgreementWithDimsat:
+    def test_frozen_dimension_sets_agree_on_location(self, loc_schema):
+        brute = {
+            f.subhierarchy
+            for f in brute_force_frozen_dimensions(loc_schema, "Store")
+        }
+        fast = {
+            f.subhierarchy for f in enumerate_frozen_dimensions(loc_schema, "Store")
+        }
+        assert brute == fast
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_satisfiability_agrees_on_random_schemas(self, seed):
+        config = RandomSchemaConfig(
+            n_categories=5, n_layers=3, seed=seed, into_fraction=0.5
+        )
+        schema = random_schema(config)
+        for category in sorted(schema.hierarchy.categories):
+            brute = brute_force_satisfiable(schema, category)
+            fast = dimsat(schema, category).satisfiable
+            assert brute == fast, (seed, category)
+
+    def test_implication_agrees(self, loc_schema):
+        queries = [
+            "Store -> City",
+            "Store -> SaleRegion",
+            "Store.Country implies Store.City.Country",
+            "Store.Province.Country",
+        ]
+        for query in queries:
+            assert brute_force_implies(loc_schema, query) == is_implied(
+                loc_schema, query
+            ), query

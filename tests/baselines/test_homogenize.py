@@ -1,0 +1,122 @@
+"""Null-padding homogenization tests (the Pedersen-Jensen baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import homogenize, is_null_member, padding_report
+from repro.core import ALL, DimensionInstance, HierarchySchema
+from repro.core.rollup import reached_categories
+from repro.errors import SchemaError
+from repro.olap import SUM, FactTable, cube_view, recombine, views_equal
+
+
+def ancestor_signature(instance, member):
+    return frozenset(
+        instance.category_of(a) for a in instance.ancestors_of(member)
+    )
+
+
+class TestHomogenize:
+    def test_result_is_valid(self, loc_instance):
+        assert homogenize(loc_instance).is_valid()
+
+    def test_result_is_homogeneous(self, loc_instance):
+        padded = homogenize(loc_instance)
+        for category in padded.hierarchy.categories:
+            signatures = {
+                ancestor_signature(padded, m) for m in padded.members(category)
+            }
+            assert len(signatures) <= 1, category
+
+    def test_real_members_keep_their_rollups(self, loc_instance):
+        padded = homogenize(loc_instance)
+        for member in loc_instance.all_members():
+            for category in reached_categories(loc_instance, member):
+                original = loc_instance.ancestor_in(member, category)
+                assert padded.ancestor_in(member, category) == original
+
+    def test_homogeneous_input_is_untouched(self, chain_instance):
+        padded = homogenize(chain_instance)
+        assert len(padded) == len(chain_instance)
+        assert not any(is_null_member(m) for m in padded.all_members())
+
+    def test_washington_gets_null_chain(self, loc_instance):
+        padded = homogenize(loc_instance)
+        assert padded.ancestor_in("Washington", "State") is not None
+        state = padded.ancestor_in("Washington", "State")
+        assert is_null_member(state)
+
+    def test_cyclic_hierarchy_rejected(self):
+        g = HierarchySchema(
+            ["A", "B"],
+            [("A", "B"), ("B", "A"), ("A", ALL), ("B", ALL)],
+        )
+        d = DimensionInstance(g, {"a": "A"}, [("a", "all")])
+        with pytest.raises(SchemaError):
+            homogenize(d)
+
+    def test_disagreeing_descendants_rejected(self):
+        # City c1 sits in a sale region, so every city must be padded into
+        # SaleRegion - but c2's stores roll into *different* sale regions,
+        # so no single (null) region works without splitting c2.
+        g = HierarchySchema(
+            ["Store", "City", "SaleRegion"],
+            [
+                ("Store", "City"),
+                ("Store", "SaleRegion"),
+                ("City", "SaleRegion"),
+                ("City", ALL),
+                ("SaleRegion", ALL),
+            ],
+        )
+        d = DimensionInstance(
+            g,
+            {
+                "s0": "Store",
+                "s1": "Store",
+                "s2": "Store",
+                "c1": "City",
+                "c2": "City",
+                "r1": "SaleRegion",
+                "r2": "SaleRegion",
+            },
+            [
+                ("s0", "c1"),
+                ("c1", "r1"),
+                ("s1", "c2"),
+                ("s2", "c2"),
+                ("s1", "r1"),
+                ("s2", "r2"),
+            ],
+        )
+        with pytest.raises(SchemaError):
+            homogenize(d)
+
+
+class TestPaddingRestoresSummarizability:
+    def test_state_province_view_becomes_safe(self, loc_instance):
+        """The whole point of padding: after it, Country can be derived
+        from {State, Province} - the nulls carry Washington's sales."""
+        padded = homogenize(loc_instance)
+        rows = [(m, {"sales": 1.0}) for m in sorted(loc_instance.base_members())]
+        facts = FactTable(padded, rows)
+        direct = cube_view(facts, "Country", SUM, "sales")
+        state = cube_view(facts, "State", SUM, "sales")
+        derived = recombine(padded, "Country", [state], SUM)
+        # After padding every store reaches a (possibly null) state.
+        assert views_equal(direct, derived)
+
+
+class TestReport:
+    def test_report_counts(self, loc_instance):
+        report = padding_report(loc_instance)
+        assert report.padded_members > report.original_members
+        assert report.null_members > 0
+        assert 0 < report.null_fraction < 1
+        assert report.member_blowup > 1.0
+
+    def test_report_on_homogeneous_instance(self, chain_instance):
+        report = padding_report(chain_instance)
+        assert report.null_members == 0
+        assert report.member_blowup == 1.0

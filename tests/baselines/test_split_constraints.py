@@ -1,0 +1,143 @@
+"""Split constraint tests ([6]) and the expressiveness gap (E15)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    SplitConstraint,
+    gap_hierarchy,
+    gap_instances,
+    infer_split_constraints,
+    same_split_descriptions,
+    split_description,
+)
+from repro.constraints import parse, satisfies
+from repro.errors import SchemaError
+
+
+class TestSplitDescription:
+    def test_store_sets_in_location(self, loc_instance):
+        observed = split_description(loc_instance, "Store")
+        assert frozenset(
+            {"City", "Province", "SaleRegion", "Country", "All"}
+        ) in observed  # Canadian stores
+        assert frozenset(
+            {"City", "SaleRegion", "Country", "All"}
+        ) in observed  # Washington / Texas stores
+        assert len(observed) == 3
+
+    def test_unknown_category(self, loc_instance):
+        with pytest.raises(SchemaError):
+            split_description(loc_instance, "Galaxy")
+
+
+class TestSatisfaction:
+    def test_tightest_description_holds(self, loc_instance):
+        for constraint in infer_split_constraints(loc_instance).values():
+            assert constraint.holds_in(loc_instance)
+
+    def test_looser_constraint_holds(self, loc_instance):
+        observed = split_description(loc_instance, "Store")
+        looser = SplitConstraint(
+            "Store", observed | {frozenset({"City", "All"})}
+        )
+        assert looser.holds_in(loc_instance)
+
+    def test_tighter_constraint_fails(self, loc_instance):
+        tighter = SplitConstraint(
+            "Store", frozenset({frozenset({"City", "All"})})
+        )
+        assert not tighter.holds_in(loc_instance)
+
+    def test_normalized_adds_all(self):
+        constraint = SplitConstraint("Store", frozenset({frozenset({"City"})}))
+        normalized = constraint.normalized()
+        assert frozenset({"City", "All"}) in normalized.allowed
+
+
+class TestExpressivenessGap:
+    def test_instances_are_valid(self):
+        left, right = gap_instances()
+        assert left.is_valid()
+        assert right.is_valid()
+        assert left.hierarchy == gap_hierarchy()
+
+    def test_split_descriptions_identical(self):
+        left, right = gap_instances()
+        assert same_split_descriptions(left, right)
+
+    def test_dimension_constraint_distinguishes(self):
+        left, right = gap_instances()
+        witness = parse("B = 'k' implies not (B -> E)")
+        assert satisfies(left, witness)
+        assert not satisfies(right, witness)
+
+    def test_every_inferred_split_holds_in_both(self):
+        left, right = gap_instances()
+        for constraint in infer_split_constraints(left).values():
+            assert constraint.holds_in(right)
+        for constraint in infer_split_constraints(right).values():
+            assert constraint.holds_in(left)
+
+    def test_different_hierarchies_not_comparable(self, loc_instance, chain_instance):
+        assert not same_split_descriptions(loc_instance, chain_instance)
+
+
+class TestEmbedding:
+    """Split constraints are a special case of dimension constraints: the
+    embedding must agree with native split satisfaction everywhere."""
+
+    def test_inferred_splits_embed_and_hold(self, loc_instance):
+        from repro.baselines import split_to_dimension_constraint
+        from repro.constraints import satisfies
+
+        for category, constraint in infer_split_constraints(loc_instance).items():
+            node = split_to_dimension_constraint(
+                constraint, loc_instance.hierarchy
+            )
+            assert satisfies(loc_instance, node, root=category), category
+
+    def test_embedding_rejects_what_splits_reject(self, loc_instance):
+        from repro.baselines import split_to_dimension_constraint
+        from repro.constraints import satisfies
+
+        # A split that forbids the Washington shape.
+        tighter = SplitConstraint(
+            "Store",
+            frozenset(
+                {
+                    frozenset({"City", "Province", "SaleRegion", "Country", "All"}),
+                    frozenset({"City", "State", "SaleRegion", "Country", "All"}),
+                }
+            ),
+        )
+        assert not tighter.holds_in(loc_instance)
+        node = split_to_dimension_constraint(tighter, loc_instance.hierarchy)
+        assert not satisfies(loc_instance, node, root="Store")
+
+    def test_agreement_on_gap_instances(self):
+        from repro.baselines import split_to_dimension_constraint
+        from repro.constraints import satisfies
+
+        left, right = gap_instances()
+        for source in (left, right):
+            for category, constraint in infer_split_constraints(source).items():
+                node = split_to_dimension_constraint(constraint, source.hierarchy)
+                for target in (left, right):
+                    assert constraint.holds_in(target) == satisfies(
+                        target, node, root=category
+                    ), (category,)
+
+    def test_embedding_usable_in_schema_reasoning(self, loc_schema, loc_instance):
+        """The embedded constraint can join SIGMA and drive DIMSAT."""
+        from repro.baselines import split_to_dimension_constraint
+        from repro.core import enumerate_frozen_dimensions
+
+        splits = infer_split_constraints(loc_instance)
+        node = split_to_dimension_constraint(splits["Store"], loc_schema.hierarchy)
+        extended = loc_schema.with_constraints([node])
+        # The observed shapes match the schema's frozen dimensions, so
+        # nothing is lost by adding the inferred split.
+        frozen = enumerate_frozen_dimensions(extended, "Store")
+        assert len(frozen) == 4

@@ -1,0 +1,62 @@
+"""Shared fixtures: the paper's running example and small synthetic
+schemas used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DimensionInstance, DimensionSchema, HierarchySchema
+from repro.generators.location import (
+    location_hierarchy,
+    location_instance,
+    location_schema,
+)
+
+
+@pytest.fixture(scope="session")
+def loc_hierarchy() -> HierarchySchema:
+    """The hierarchy schema of Figure 1(A)."""
+    return location_hierarchy()
+
+
+@pytest.fixture(scope="session")
+def loc_schema() -> DimensionSchema:
+    """The dimension schema locationSch of Figure 3."""
+    return location_schema()
+
+
+@pytest.fixture()
+def loc_instance() -> DimensionInstance:
+    """The dimension instance of Figure 1(B) (fresh per test: instances
+    cache ancestor sets and some tests poke at internals)."""
+    return location_instance()
+
+
+@pytest.fixture(scope="session")
+def chain_hierarchy() -> HierarchySchema:
+    """A plain homogeneous chain: Day -> Month -> Year -> All."""
+    return HierarchySchema.from_paths(["Day", "Month", "Year"])
+
+
+@pytest.fixture(scope="session")
+def diamond_hierarchy() -> HierarchySchema:
+    """A diamond: A -> B -> D, A -> C -> D, D -> All."""
+    return HierarchySchema(
+        ["A", "B", "C", "D"],
+        [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D"), ("D", "All")],
+    )
+
+
+@pytest.fixture()
+def chain_instance(chain_hierarchy) -> DimensionInstance:
+    """Two days in one month in one year."""
+    return DimensionInstance(
+        chain_hierarchy,
+        members={
+            "d1": "Day",
+            "d2": "Day",
+            "jan": "Month",
+            "y2020": "Year",
+        },
+        child_parent=[("d1", "jan"), ("d2", "jan"), ("jan", "y2020")],
+    )

@@ -1,0 +1,137 @@
+"""AST structural tests: construction invariants, equality, hashing,
+roots, and traversal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import (
+    FALSE,
+    TRUE,
+    And,
+    EqualityAtom,
+    ExactlyOne,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    PathAtom,
+    RollsUpAtom,
+    ThroughAtom,
+    Xor,
+    constraint_root,
+    walk,
+)
+
+
+class TestConstruction:
+    def test_path_atom_requires_nonempty_path(self):
+        with pytest.raises(ValueError):
+            PathAtom("Store", ())
+
+    def test_path_atom_coerces_path_to_tuple(self):
+        atom = PathAtom("Store", ["City", "Province"])
+        assert atom.path == ("City", "Province")
+
+    def test_path_atom_full_path_and_target(self):
+        atom = PathAtom("Store", ("City", "Province"))
+        assert atom.full_path == ("Store", "City", "Province")
+        assert atom.target == "Province"
+
+    def test_and_needs_two_operands(self):
+        with pytest.raises(ValueError):
+            And((TRUE,))
+
+    def test_or_needs_two_operands(self):
+        with pytest.raises(ValueError):
+            Or((TRUE,))
+
+    def test_exactly_one_needs_an_operand(self):
+        with pytest.raises(ValueError):
+            ExactlyOne(())
+
+    def test_and_flattens_nested_and(self):
+        a, b, c = (PathAtom("A", (x,)) for x in "BCD")
+        nested = And((And((a, b)), c))
+        assert nested.operands == (a, b, c)
+
+    def test_or_flattens_nested_or(self):
+        a, b, c = (PathAtom("A", (x,)) for x in "BCD")
+        nested = Or((a, Or((b, c))))
+        assert nested.operands == (a, b, c)
+
+    def test_and_does_not_flatten_or(self):
+        a, b, c = (PathAtom("A", (x,)) for x in "BCD")
+        node = And((Or((a, b)), c))
+        assert len(node.operands) == 2
+
+
+class TestEqualityAndHashing:
+    def test_atoms_equal_structurally(self):
+        assert PathAtom("A", ("B",)) == PathAtom("A", ("B",))
+        assert PathAtom("A", ("B",)) != PathAtom("A", ("C",))
+
+    def test_atoms_hashable(self):
+        atoms = {PathAtom("A", ("B",)), PathAtom("A", ("B",)), PathAtom("A", ("C",))}
+        assert len(atoms) == 2
+
+    def test_true_false_singletons_compare_equal_to_fresh(self):
+        from repro.constraints.ast import FalseConst, TrueConst
+
+        assert TRUE == TrueConst()
+        assert FALSE == FalseConst()
+
+    def test_composite_equality(self):
+        a, b = PathAtom("A", ("B",)), PathAtom("A", ("C",))
+        assert Implies(a, b) == Implies(a, b)
+        assert Implies(a, b) != Implies(b, a)
+
+
+class TestOperatorSugar:
+    def test_and_or_invert(self):
+        a, b = PathAtom("A", ("B",)), PathAtom("A", ("C",))
+        assert (a & b) == And((a, b))
+        assert (a | b) == Or((a, b))
+        assert (~a) == Not(a)
+
+    def test_implies_iff_xor_methods(self):
+        a, b = PathAtom("A", ("B",)), PathAtom("A", ("C",))
+        assert a.implies(b) == Implies(a, b)
+        assert a.iff(b) == Iff(a, b)
+        assert a.xor(b) == Xor(a, b)
+
+
+class TestRoots:
+    def test_single_root(self):
+        node = PathAtom("Store", ("City",)) & RollsUpAtom("Store", "Country")
+        assert constraint_root(node) == "Store"
+
+    def test_constant_has_no_root(self):
+        assert constraint_root(TRUE) is None
+        assert constraint_root(Not(FALSE)) is None
+
+    def test_mixed_roots_rejected(self):
+        node = PathAtom("Store", ("City",)) & PathAtom("City", ("Country",))
+        with pytest.raises(ValueError):
+            constraint_root(node)
+
+    def test_equality_and_through_carry_roots(self):
+        assert constraint_root(EqualityAtom("Store", "Country", "Canada")) == "Store"
+        assert constraint_root(ThroughAtom("Store", "City", "Country")) == "Store"
+
+
+class TestTraversal:
+    def test_atoms_yields_in_order(self):
+        a, b, c = (PathAtom("A", (x,)) for x in "BCD")
+        node = Implies(a, Or((b, Not(c))))
+        assert list(node.atoms()) == [a, b, c]
+
+    def test_walk_counts_nodes(self):
+        a, b = PathAtom("A", ("B",)), PathAtom("A", ("C",))
+        node = Implies(a, Not(b))
+        # Implies, a, Not, b
+        assert len(list(walk(node))) == 4
+
+    def test_atoms_of_constants_empty(self):
+        assert list(TRUE.atoms()) == []
+        assert list(FALSE.atoms()) == []

@@ -1,0 +1,153 @@
+"""Order predicates over attributes (the Section 6 extension).
+
+"We could consider further built-in predicates over attributes, such as
+an order relation, to extend equality atoms.  We would then be able to
+express dependences such as: if the value of the price of a product is
+less than a given amount, the product rolls up to some particular path in
+the hierarchy schema."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import (
+    COMPARISON_OPS,
+    ComparisonAtom,
+    compare,
+    parse,
+    satisfies,
+    satisfies_at,
+    unparse,
+)
+from repro.core import ALL, DimensionInstance, HierarchySchema
+from repro.errors import ConstraintSyntaxError
+
+
+@pytest.fixture(scope="module")
+def product_hierarchy():
+    return HierarchySchema(
+        ["SKU", "Premium", "Budget", "Department"],
+        [
+            ("SKU", "Premium"),
+            ("SKU", "Budget"),
+            ("Premium", "Department"),
+            ("Budget", "Department"),
+            ("Department", ALL),
+        ],
+    )
+
+
+@pytest.fixture()
+def priced_instance(product_hierarchy):
+    # SKU names are their prices.
+    members = {
+        "sku-cheap": "SKU",
+        "sku-dear": "SKU",
+        "b1": "Budget",
+        "p1": "Premium",
+        "dept": "Department",
+    }
+    edges = [
+        ("sku-cheap", "b1"),
+        ("sku-dear", "p1"),
+        ("b1", "dept"),
+        ("p1", "dept"),
+    ]
+    names = {"sku-cheap": "9.99", "sku-dear": "250"}
+    return DimensionInstance(product_hierarchy, members, edges, names=names)
+
+
+class TestParsing:
+    @pytest.mark.parametrize("op", COMPARISON_OPS)
+    def test_all_operators_parse(self, op):
+        node = parse(f"SKU.Price {op} 100")
+        assert node == ComparisonAtom("SKU", "Price", op, "100")
+
+    def test_self_comparison(self):
+        assert parse("SKU < 100") == ComparisonAtom("SKU", "SKU", "<", "100")
+
+    def test_negative_and_decimal_constants(self):
+        assert parse("SKU < -3.5") == ComparisonAtom("SKU", "SKU", "<", "-3.5")
+
+    def test_round_trip(self):
+        for text in [
+            "SKU < 100",
+            "SKU.Price >= 9.99",
+            "SKU.Price != 0 implies SKU -> Premium",
+            "SKU < 10 or SKU > 100",
+        ]:
+            assert parse(unparse(parse(text))) == parse(text)
+
+    def test_string_constant_rejected(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse("SKU.Price < 'cheap'")
+
+    def test_builder(self):
+        assert compare("SKU", "Price", "<", 100) == ComparisonAtom(
+            "SKU", "Price", "<", "100"
+        )
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(ValueError):
+            ComparisonAtom("SKU", "Price", "~", "1")
+
+    def test_non_numeric_constant_rejected(self):
+        with pytest.raises(ValueError):
+            ComparisonAtom("SKU", "Price", "<", "cheap")
+
+
+class TestAtomBehaviour:
+    def test_compare_each_operator(self):
+        cases = [
+            ("<", 5.0, True), ("<", 10.0, False),
+            ("<=", 10.0, True), ("<=", 10.5, False),
+            (">", 10.5, True), (">", 10.0, False),
+            (">=", 10.0, True), (">=", 5.0, False),
+            ("!=", 5.0, True), ("!=", 10.0, False),
+        ]
+        for op, value, expected in cases:
+            atom = ComparisonAtom("A", "B", op, "10")
+            assert atom.compare(value) is expected, (op, value)
+
+    def test_threshold(self):
+        assert ComparisonAtom("A", "B", "<", "2.5").threshold == 2.5
+
+
+class TestInstanceSemantics:
+    def test_self_comparison_on_names(self, priced_instance):
+        cheap = parse("SKU < 100")
+        assert satisfies_at(priced_instance, "sku-cheap", cheap)
+        assert not satisfies_at(priced_instance, "sku-dear", cheap)
+
+    def test_ancestor_comparison(self, product_hierarchy):
+        members = {"s": "SKU", "p": "Premium", "d": "Department"}
+        edges = [("s", "p"), ("p", "d")]
+        names = {"p": "500"}
+        d = DimensionInstance(product_hierarchy, members, edges, names=names)
+        assert satisfies_at(d, "s", parse("SKU.Premium > 100"))
+        assert not satisfies_at(d, "s", parse("SKU.Premium < 100"))
+
+    def test_non_numeric_name_never_compares(self, product_hierarchy):
+        members = {"s": "SKU", "p": "Premium", "d": "Department"}
+        edges = [("s", "p"), ("p", "d")]
+        d = DimensionInstance(product_hierarchy, members, edges)
+        assert not satisfies_at(d, "s", parse("SKU.Premium > 0"))
+        assert not satisfies_at(d, "s", parse("SKU.Premium <= 0"))
+
+    def test_missing_ancestor_never_compares(self, priced_instance):
+        assert not satisfies_at(
+            priced_instance, "sku-cheap", parse("SKU.Premium > 0")
+        )
+
+    def test_price_dependent_rollup(self, priced_instance):
+        """The Section 6 motivating sentence, as a constraint."""
+        rule = parse("SKU < 100 implies SKU -> Budget")
+        assert satisfies(priced_instance, rule)
+        inverse = parse("SKU >= 100 implies SKU -> Premium")
+        assert satisfies(priced_instance, inverse)
+
+    def test_equality_matches_numeric_names(self, priced_instance):
+        # The numeric fallback: '250' as a name equals the constant 250.
+        assert satisfies_at(priced_instance, "sku-dear", parse("SKU = 250"))
+        assert satisfies_at(priced_instance, "sku-dear", parse("SKU = '250'"))

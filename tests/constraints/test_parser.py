@@ -1,0 +1,207 @@
+"""Parser unit tests: every grammar production, precedence, and the error
+paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import (
+    And,
+    EqualityAtom,
+    ExactlyOne,
+    FALSE,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    PathAtom,
+    RollsUpAtom,
+    ThroughAtom,
+    TRUE,
+    Xor,
+    parse,
+    parse_many,
+)
+from repro.errors import ConstraintSyntaxError
+
+
+class TestAtoms:
+    def test_path_atom_single_step(self):
+        assert parse("Store -> City") == PathAtom("Store", ("City",))
+
+    def test_path_atom_long_chain(self):
+        node = parse("Store -> City -> Province -> SaleRegion")
+        assert node == PathAtom("Store", ("City", "Province", "SaleRegion"))
+
+    def test_rolls_up_atom(self):
+        assert parse("Store.SaleRegion") == RollsUpAtom("Store", "SaleRegion")
+
+    def test_through_atom(self):
+        assert parse("Store.City.Country") == ThroughAtom("Store", "City", "Country")
+
+    def test_equality_atom_qualified(self):
+        assert parse("Store.Country = 'Canada'") == EqualityAtom(
+            "Store", "Country", "Canada"
+        )
+
+    def test_equality_atom_self(self):
+        assert parse("City = 'Washington'") == EqualityAtom(
+            "City", "City", "Washington"
+        )
+
+    def test_equality_atom_unquoted_constant(self):
+        assert parse("City = Washington") == EqualityAtom(
+            "City", "City", "Washington"
+        )
+
+    def test_equality_atom_numeric_constant(self):
+        assert parse("Product.Price = 42") == EqualityAtom("Product", "Price", "42")
+
+    def test_quoted_constant_with_escaped_quote(self):
+        assert parse("City = 'O''Brien'") == EqualityAtom("City", "City", "O'Brien")
+
+    def test_quoted_constant_with_spaces(self):
+        assert parse("City = 'New York'") == EqualityAtom("City", "City", "New York")
+
+    def test_constants(self):
+        assert parse("true") is TRUE
+        assert parse("false") is FALSE
+
+
+class TestConnectives:
+    def test_not(self):
+        assert parse("not Store -> City") == Not(PathAtom("Store", ("City",)))
+
+    def test_double_not(self):
+        assert parse("not not Store -> City") == Not(Not(PathAtom("Store", ("City",))))
+
+    def test_and_is_nary(self):
+        node = parse("A -> B and A -> C and A -> D")
+        assert isinstance(node, And)
+        assert len(node.operands) == 3
+
+    def test_or_is_nary(self):
+        node = parse("A -> B or A -> C or A -> D")
+        assert isinstance(node, Or)
+        assert len(node.operands) == 3
+
+    def test_implies_right_associative(self):
+        node = parse("A -> B implies A -> C implies A -> D")
+        assert isinstance(node, Implies)
+        assert isinstance(node.consequent, Implies)
+
+    def test_iff_left_associative(self):
+        node = parse("A -> B iff A -> C iff A -> D")
+        assert isinstance(node, Iff)
+        assert isinstance(node.left, Iff)
+
+    def test_xor(self):
+        node = parse("A -> B xor A -> C")
+        assert isinstance(node, Xor)
+
+    def test_exactly_one(self):
+        node = parse("one(A -> B, A -> C, A -> D)")
+        assert isinstance(node, ExactlyOne)
+        assert len(node.operands) == 3
+
+    def test_exactly_one_single_operand(self):
+        node = parse("one(A -> B)")
+        assert isinstance(node, ExactlyOne)
+        assert node.operands == (PathAtom("A", ("B",)),)
+
+    def test_precedence_and_over_or(self):
+        node = parse("A -> B or A -> C and A -> D")
+        assert isinstance(node, Or)
+        assert isinstance(node.operands[1], And)
+
+    def test_precedence_not_binds_tightest(self):
+        node = parse("not A -> B and A -> C")
+        assert isinstance(node, And)
+        assert isinstance(node.operands[0], Not)
+
+    def test_precedence_implies_is_loosest(self):
+        node = parse("A -> B and A -> C implies A -> D or A -> E")
+        assert isinstance(node, Implies)
+        assert isinstance(node.antecedent, And)
+        assert isinstance(node.consequent, Or)
+
+    def test_parentheses_override(self):
+        node = parse("A -> B and (A -> C or A -> D)")
+        assert isinstance(node, And)
+        assert isinstance(node.operands[1], Or)
+
+    def test_paper_constraint_c(self):
+        node = parse("City = 'Washington' iff City -> Country")
+        assert node == Iff(
+            EqualityAtom("City", "City", "Washington"),
+            PathAtom("City", ("Country",)),
+        )
+
+    def test_paper_constraint_d(self):
+        node = parse("City = 'Washington' implies City.Country = 'USA'")
+        assert node == Implies(
+            EqualityAtom("City", "City", "Washington"),
+            EqualityAtom("City", "Country", "USA"),
+        )
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "Store ->",
+            "-> City",
+            "Store -> City and",
+            "one()",
+            "one(A -> B",
+            "(A -> B",
+            "A -> B)",
+            "Store .",
+            "Store = ",
+            "Store.City.Country = 'x'",
+            "Store @@ City",
+            "not",
+            "A -> B implies",
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ConstraintSyntaxError):
+            parse(text)
+
+    def test_keyword_not_a_category(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse("one -> City")
+
+    def test_keyword_not_a_path_step(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse("Store -> and")
+
+    def test_error_reports_position(self):
+        with pytest.raises(ConstraintSyntaxError) as err:
+            parse("Store -> City @@")
+        assert "position" in str(err.value)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse("Store -> City City")
+
+
+class TestParseMany:
+    def test_one_per_line(self):
+        nodes = parse_many("Store -> City\nStore.SaleRegion\n")
+        assert len(nodes) == 2
+
+    def test_skips_blank_lines_and_comments(self):
+        nodes = parse_many(
+            """
+            # the into constraint
+            Store -> City
+
+            Store.SaleRegion  # composed
+            """
+        )
+        assert len(nodes) == 2
+
+    def test_empty_text(self):
+        assert parse_many("") == []

@@ -1,0 +1,115 @@
+"""InstanceBuilder tests: staged construction, eager errors, editing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import InstanceBuilder
+from repro.errors import InstanceError, SchemaError
+from repro.generators.location import location_instance
+
+
+class TestStaging:
+    def test_fluent_construction(self, chain_hierarchy):
+        instance = (
+            InstanceBuilder(chain_hierarchy)
+            .member("d1", "Day")
+            .member("jan", "Month", name="January")
+            .member("y", "Year")
+            .chain("d1", "jan", "y")
+            .freeze()
+        )
+        assert instance.is_valid()
+        assert instance.name("jan") == "January"
+
+    def test_members_shorthand(self, chain_hierarchy):
+        builder = InstanceBuilder(chain_hierarchy).members("Day", "d1", "d2")
+        assert len(builder) == 2
+
+    def test_unknown_category_rejected(self, chain_hierarchy):
+        with pytest.raises(SchemaError):
+            InstanceBuilder(chain_hierarchy).member("x", "Galaxy")
+
+    def test_category_redeclaration_rejected(self, chain_hierarchy):
+        builder = InstanceBuilder(chain_hierarchy).member("x", "Day")
+        with pytest.raises(SchemaError):
+            builder.member("x", "Month")
+
+    def test_idempotent_redeclaration_allowed(self, chain_hierarchy):
+        builder = InstanceBuilder(chain_hierarchy).member("x", "Day")
+        builder.member("x", "Day", name="again")
+        assert len(builder) == 1
+
+    def test_link_requires_declared_members(self, chain_hierarchy):
+        builder = InstanceBuilder(chain_hierarchy).member("d1", "Day")
+        with pytest.raises(SchemaError):
+            builder.link("d1", "ghost")
+
+    def test_link_checks_c1_eagerly(self, chain_hierarchy):
+        builder = (
+            InstanceBuilder(chain_hierarchy)
+            .member("d1", "Day")
+            .member("y", "Year")
+        )
+        with pytest.raises(SchemaError, match="no hierarchy edge"):
+            builder.link("d1", "y")
+
+    def test_rename_requires_declaration(self, chain_hierarchy):
+        with pytest.raises(SchemaError):
+            InstanceBuilder(chain_hierarchy).rename("ghost", "x")
+
+
+class TestOrphans:
+    def test_pending_orphans(self, chain_hierarchy):
+        builder = (
+            InstanceBuilder(chain_hierarchy)
+            .member("d1", "Day")
+            .member("y", "Year")
+        )
+        # Year sits under All, so only the day is an orphan.
+        assert builder.pending_orphans() == ["d1"]
+
+    def test_freeze_rejects_orphans(self, chain_hierarchy):
+        builder = InstanceBuilder(chain_hierarchy).member("d1", "Day")
+        with pytest.raises(InstanceError):
+            builder.freeze()
+
+    def test_freeze_without_validation(self, chain_hierarchy):
+        builder = InstanceBuilder(chain_hierarchy).member("d1", "Day")
+        instance = builder.freeze(validate=False)
+        assert not instance.is_valid()
+
+
+class TestEditing:
+    def test_round_trip_from_instance(self):
+        original = location_instance()
+        rebuilt = InstanceBuilder.from_instance(original).freeze()
+        assert rebuilt.is_valid()
+        assert len(rebuilt) == len(original)
+        assert set(rebuilt.member_edges()) == set(original.member_edges())
+        assert rebuilt.name("Washington") == "Washington"
+
+    def test_what_if_edit_violates_schema(self, loc_schema):
+        from repro.constraints import satisfies_all
+
+        builder = InstanceBuilder.from_instance(location_instance())
+        # Move Vancouver straight under Canada: a non-Washington shortcut.
+        builder.unlink("Vancouver", "BritishColumbia")
+        builder.link("Vancouver", "Canada")
+        edited = builder.freeze()
+        assert edited.is_valid()
+        assert not satisfies_all(edited, loc_schema.constraints)
+
+    def test_remove_member_drops_edges(self):
+        builder = InstanceBuilder.from_instance(location_instance())
+        builder.remove_member("s1")
+        instance = builder.freeze()
+        assert "s1" not in instance
+        assert all(
+            "s1" not in edge for edge in instance.member_edges()
+        )
+
+    def test_unlink_noop_when_absent(self, chain_hierarchy):
+        builder = InstanceBuilder(chain_hierarchy).member("y", "Year")
+        builder.unlink("y", "ghost")
+        assert builder.freeze().is_valid()

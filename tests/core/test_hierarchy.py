@@ -1,0 +1,160 @@
+"""HierarchySchema tests: Definition 1, shortcuts, cycles, paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ALL, HierarchySchema
+from repro.errors import SchemaError
+
+
+class TestConstruction:
+    def test_all_added_automatically(self):
+        g = HierarchySchema(["A"], [("A", ALL)])
+        assert ALL in g.categories
+
+    def test_rejects_unknown_category_in_edge(self):
+        with pytest.raises(SchemaError):
+            HierarchySchema(["A"], [("A", "B")])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(SchemaError):
+            HierarchySchema(["A"], [("A", "A"), ("A", ALL)])
+
+    def test_rejects_category_not_reaching_all(self):
+        with pytest.raises(SchemaError):
+            HierarchySchema(["A", "B"], [("A", ALL)])
+
+    def test_cycle_must_still_reach_all(self):
+        # Example 4: SaleDistrict <-> City is fine as long as both reach All.
+        g = HierarchySchema(
+            ["SaleDistrict", "City"],
+            [
+                ("SaleDistrict", "City"),
+                ("City", "SaleDistrict"),
+                ("City", ALL),
+                ("SaleDistrict", ALL),
+            ],
+        )
+        assert g.is_cyclic()
+
+    def test_from_paths(self):
+        g = HierarchySchema.from_paths(["Day", "Month", "Year"], ["Day", "Week"])
+        assert g.has_edge("Day", "Month")
+        assert g.has_edge("Week", ALL)
+        assert g.has_edge("Year", ALL)
+
+    def test_equality_and_hash(self):
+        g1 = HierarchySchema(["A"], [("A", ALL)])
+        g2 = HierarchySchema(["A"], [("A", ALL)])
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+        assert len({g1, g2}) == 1
+
+
+class TestStructure:
+    def test_parents_children(self, loc_hierarchy):
+        assert loc_hierarchy.parents("Store") == frozenset({"City", "SaleRegion"})
+        assert loc_hierarchy.children("Country") == frozenset(
+            {"City", "State", "SaleRegion"}
+        )
+
+    def test_unknown_category_raises(self, loc_hierarchy):
+        with pytest.raises(SchemaError):
+            loc_hierarchy.parents("Galaxy")
+        with pytest.raises(SchemaError):
+            loc_hierarchy.reaches("Galaxy", ALL)
+
+    def test_reaches_is_reflexive_transitive(self, loc_hierarchy):
+        assert loc_hierarchy.reaches("Store", "Store")
+        assert loc_hierarchy.reaches("Store", "Country")
+        assert not loc_hierarchy.reaches("Country", "Store")
+
+    def test_ancestors_descendants(self, loc_hierarchy):
+        assert "Country" in loc_hierarchy.ancestors("Store")
+        assert "Store" in loc_hierarchy.descendants("Country")
+        assert "Store" not in loc_hierarchy.ancestors("Store")
+
+    def test_bottom_categories(self, loc_hierarchy):
+        assert loc_hierarchy.bottom_categories() == frozenset({"Store"})
+
+    def test_multiple_bottom_categories(self):
+        g = HierarchySchema(
+            ["A", "B", "C"], [("A", "C"), ("B", "C"), ("C", ALL)]
+        )
+        assert g.bottom_categories() == frozenset({"A", "B"})
+
+    def test_degenerate_all_only_schema(self):
+        g = HierarchySchema([], [])
+        assert g.bottom_categories() == frozenset({ALL})
+
+    def test_shortcuts_detects_city_country(self, loc_hierarchy):
+        # Example 3: City and Country form a shortcut.
+        assert ("City", "Country") in loc_hierarchy.shortcuts()
+
+    def test_store_saleregion_is_also_a_shortcut(self, loc_hierarchy):
+        assert ("Store", "SaleRegion") in loc_hierarchy.shortcuts()
+
+    def test_chain_has_no_shortcuts(self, chain_hierarchy):
+        assert chain_hierarchy.shortcuts() == frozenset()
+
+    def test_acyclic_schema(self, loc_hierarchy):
+        assert not loc_hierarchy.is_cyclic()
+
+
+class TestPaths:
+    def test_simple_paths_chain(self, chain_hierarchy):
+        paths = list(chain_hierarchy.simple_paths("Day", "Year"))
+        assert paths == [("Day", "Month", "Year")]
+
+    def test_simple_paths_diamond(self, diamond_hierarchy):
+        paths = set(diamond_hierarchy.simple_paths("A", "D"))
+        assert paths == {("A", "B", "D"), ("A", "C", "D")}
+
+    def test_simple_paths_no_route(self, diamond_hierarchy):
+        assert list(diamond_hierarchy.simple_paths("D", "A")) == []
+
+    def test_simple_paths_to_self_empty(self, diamond_hierarchy):
+        assert list(diamond_hierarchy.simple_paths("A", "A")) == []
+
+    def test_simple_paths_in_cyclic_schema_terminate(self):
+        g = HierarchySchema(
+            ["A", "B", "C"],
+            [("A", "B"), ("B", "C"), ("C", "B"), ("B", ALL), ("C", ALL)],
+        )
+        paths = set(g.simple_paths("A", ALL))
+        assert ("A", "B", ALL) in paths
+        assert ("A", "B", "C", ALL) in paths
+        assert all(len(set(p)) == len(p) for p in paths)
+
+    def test_is_simple_path(self, loc_hierarchy):
+        assert loc_hierarchy.is_simple_path(("Store", "City", "Province"))
+        assert not loc_hierarchy.is_simple_path(("Store",))
+        assert not loc_hierarchy.is_simple_path(("Store", "Country"))
+        assert not loc_hierarchy.is_simple_path(("Store", "City", "Store"))
+
+
+class TestDerivation:
+    def test_with_edges(self, chain_hierarchy):
+        bigger = chain_hierarchy.with_edges([("Day", ALL)])
+        assert bigger.has_edge("Day", ALL)
+        assert not chain_hierarchy.has_edge("Day", ALL)
+
+    def test_without_category(self, loc_hierarchy):
+        smaller = loc_hierarchy.without_category("Province")
+        assert not smaller.has_category("Province")
+        assert not smaller.has_edge("City", "Province")
+
+    def test_without_category_rejects_breaking_reachability(self, loc_hierarchy):
+        # Dropping SaleRegion would leave Province unable to reach All.
+        with pytest.raises(SchemaError):
+            loc_hierarchy.without_category("SaleRegion")
+
+    def test_without_category_cannot_remove_all(self, loc_hierarchy):
+        with pytest.raises(SchemaError):
+            loc_hierarchy.without_category(ALL)
+
+    def test_without_category_may_orphan(self, chain_hierarchy):
+        # Removing Month leaves Day unable to reach All: must raise.
+        with pytest.raises(SchemaError):
+            chain_hierarchy.without_category("Month")

@@ -1,0 +1,162 @@
+"""Multiple bottom categories (Definition 1 allows them; Theorem 1
+quantifies over every one).
+
+A dimension tracking orders from two capture systems: online orders and
+in-store orders are *different bottom categories* feeding the same
+hierarchy.  In-store orders may skip the fulfilment center (curbside
+pickup), so Region is summarizable from {Center} for the online bottom
+but not for the in-store bottom - and Theorem 1's per-bottom conjunction
+must return False overall.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ALL,
+    DimensionInstance,
+    DimensionSchema,
+    HierarchySchema,
+    dimsat,
+    is_summarizable_in_instance,
+    is_summarizable_in_schema,
+)
+from repro.core.summarizability import summarizability_constraints
+from repro.olap import SUM, FactTable, cube_view, recombine, views_equal
+
+
+@pytest.fixture(scope="module")
+def orders_hierarchy():
+    return HierarchySchema(
+        ["OnlineOrder", "StoreOrder", "Center", "Region"],
+        [
+            ("OnlineOrder", "Center"),
+            ("StoreOrder", "Center"),
+            ("StoreOrder", "Region"),  # curbside: skips the center
+            ("Center", "Region"),
+            ("Region", ALL),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def orders_schema(orders_hierarchy):
+    return DimensionSchema(
+        orders_hierarchy,
+        [
+            "OnlineOrder -> Center",
+            "one(StoreOrder -> Center, StoreOrder -> Region)",
+            "Center -> Region",
+        ],
+    )
+
+
+@pytest.fixture()
+def orders_instance(orders_hierarchy):
+    members = {
+        "web-1": "OnlineOrder",
+        "web-2": "OnlineOrder",
+        "pos-1": "StoreOrder",
+        "pos-2": "StoreOrder",  # the curbside order
+        "center-east": "Center",
+        "east": "Region",
+    }
+    edges = [
+        ("web-1", "center-east"),
+        ("web-2", "center-east"),
+        ("pos-1", "center-east"),
+        ("pos-2", "east"),
+        ("center-east", "east"),
+    ]
+    return DimensionInstance(orders_hierarchy, members, edges)
+
+
+class TestStructure:
+    def test_two_bottom_categories(self, orders_hierarchy):
+        assert orders_hierarchy.bottom_categories() == frozenset(
+            {"OnlineOrder", "StoreOrder"}
+        )
+
+    def test_instance_valid(self, orders_instance):
+        assert orders_instance.violations() == []
+
+    def test_base_members_span_both_bottoms(self, orders_instance):
+        assert orders_instance.base_members() == frozenset(
+            {"web-1", "web-2", "pos-1", "pos-2"}
+        )
+
+    def test_every_category_satisfiable(self, orders_schema):
+        for category in orders_schema.hierarchy.categories:
+            assert dimsat(orders_schema, category).satisfiable, category
+
+
+class TestPerBottomSummarizability:
+    def test_theorem1_builds_one_constraint_per_bottom(self, orders_hierarchy):
+        pairs = summarizability_constraints(orders_hierarchy, "Region", ["Center"])
+        assert [bottom for bottom, _ in pairs] == ["OnlineOrder", "StoreOrder"]
+
+    def test_fails_overall_because_of_one_bottom(
+        self, orders_instance, orders_schema
+    ):
+        # Online orders all pass through the center; the curbside store
+        # order does not - the conjunction over bottoms must fail.
+        assert not is_summarizable_in_instance(
+            orders_instance, "Region", ["Center"]
+        )
+        assert not is_summarizable_in_schema(orders_schema, "Region", ["Center"])
+
+    def test_passing_set_covers_both_bottoms(self, orders_instance, orders_schema):
+        sources = ["Center", "StoreOrder"]
+        # Subtle: StoreOrder as a source covers the curbside order, but a
+        # store order that goes through the center is then on TWO source
+        # paths.  Theorem 1 decides; Definition 6 on real data must agree.
+        verdict = is_summarizable_in_instance(orders_instance, "Region", sources)
+        facts = FactTable(
+            orders_instance,
+            [(m, {"n": 1.0}) for m in sorted(orders_instance.base_members())],
+        )
+        direct = cube_view(facts, "Region", SUM, "n")
+        derived = recombine(
+            orders_instance,
+            "Region",
+            [cube_view(facts, c, SUM, "n") for c in sources],
+            SUM,
+        )
+        assert views_equal(direct, derived) == verdict
+
+    def test_online_bottom_alone_would_pass(self, orders_instance):
+        """Restricting to the online system (dropping store orders) makes
+        {Center} safe - demonstrating the failure above is genuinely the
+        other bottom's doing."""
+        members = {
+            m: orders_instance.category_of(m)
+            for m in orders_instance.all_members()
+            if orders_instance.category_of(m) != "StoreOrder"
+        }
+        edges = [
+            (c, p)
+            for c, p in orders_instance.member_edges()
+            if c in members and p in members
+        ]
+        online_only = DimensionInstance(
+            orders_instance.hierarchy, members, edges
+        )
+        assert is_summarizable_in_instance(online_only, "Region", ["Center"])
+
+
+class TestNavigationAcrossBottoms:
+    def test_navigator_refuses_center_view_for_region(
+        self, orders_instance, orders_schema
+    ):
+        from repro.olap import AggregateNavigator
+
+        facts = FactTable(
+            orders_instance,
+            [(m, {"n": 1.0}) for m in sorted(orders_instance.base_members())],
+        )
+        navigator = AggregateNavigator(facts, schema=orders_schema)
+        navigator.materialize("Center", SUM, "n")
+        view, plan = navigator.answer("Region", SUM, "n")
+        assert plan.kind == "base-scan"
+        assert view.cells["east"] == 4.0  # nothing lost

@@ -1,0 +1,206 @@
+"""DIMSAT with order predicates (Section 6 extension): the finite
+representative domains keep satisfiability and implication sound and
+complete over numeric attributes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import satisfies_all
+from repro.core import (
+    ALL,
+    DimensionSchema,
+    HierarchySchema,
+    NK,
+    dimsat,
+    enumerate_frozen_dimensions,
+    is_implied,
+)
+from repro.errors import ConstraintError
+
+
+@pytest.fixture(scope="module")
+def priced_hierarchy():
+    return HierarchySchema(
+        ["SKU", "Premium", "Budget", "Department"],
+        [
+            ("SKU", "Premium"),
+            ("SKU", "Budget"),
+            ("Premium", "Department"),
+            ("Budget", "Department"),
+            ("Department", ALL),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def priced_schema(priced_hierarchy):
+    """SKU names are prices; the rollup branch depends on the price."""
+    return DimensionSchema(
+        priced_hierarchy,
+        [
+            "one(SKU -> Premium, SKU -> Budget)",
+            "SKU < 100 implies SKU -> Budget",
+            "SKU >= 100 implies SKU -> Premium",
+        ],
+    )
+
+
+class TestDomains:
+    def test_representatives_cover_regions(self, priced_schema):
+        domain = priced_schema.constant_domain("SKU")
+        # One threshold (100): below, at, above.
+        assert domain == (99.0, 100.0, 101.0)
+
+    def test_thresholds_merge_with_equality_points(self, priced_hierarchy):
+        ds = DimensionSchema(
+            priced_hierarchy,
+            ["SKU < 100 implies SKU -> Budget", "SKU = 50 implies SKU -> Budget"],
+        )
+        domain = ds.constant_domain("SKU")
+        assert domain == (49.0, 50.0, 75.0, 100.0, 101.0)
+
+    def test_symbolic_categories_unchanged(self, priced_schema):
+        assert priced_schema.constant_domain("Premium") == (NK,)
+
+    def test_is_numeric(self, priced_schema):
+        assert priced_schema.is_numeric("SKU")
+        assert not priced_schema.is_numeric("Premium")
+
+    def test_mixed_string_equality_rejected(self, priced_hierarchy):
+        with pytest.raises(ConstraintError):
+            DimensionSchema(
+                priced_hierarchy,
+                ["SKU < 100 implies SKU -> Budget", "SKU = 'cheap'"],
+            )
+
+
+class TestSatisfiability:
+    def test_both_branches_realizable(self, priced_schema):
+        frozen = enumerate_frozen_dimensions(priced_schema, "SKU")
+        branches = {f.subhierarchy.parents_in("SKU") for f in frozen}
+        assert frozenset({"Premium"}) in branches
+        assert frozenset({"Budget"}) in branches
+
+    def test_witness_names_respect_thresholds(self, priced_schema):
+        for frozen in enumerate_frozen_dimensions(priced_schema, "SKU"):
+            price = frozen.name_of("SKU")
+            assert isinstance(price, float)
+            if "Budget" in frozen.categories:
+                assert price < 100
+            else:
+                assert price >= 100
+
+    def test_witnesses_materialize_and_conform(self, priced_schema):
+        for frozen in enumerate_frozen_dimensions(priced_schema, "SKU"):
+            instance = frozen.to_instance(priced_schema)
+            assert instance.is_valid()
+            assert satisfies_all(instance, priced_schema.constraints)
+
+    def test_contradictory_price_band_unsatisfiable(self, priced_schema):
+        # A SKU cheaper than 10 that must be premium contradicts the rules.
+        broken = priced_schema.with_constraints(
+            ["SKU < 10", "SKU -> Premium"]
+        )
+        assert not dimsat(broken, "SKU").satisfiable
+
+    def test_open_interval_needs_representative(self, priced_hierarchy):
+        # Satisfiable only by a value strictly between 10 and 20: the
+        # midpoint representative must find it.
+        ds = DimensionSchema(
+            priced_hierarchy,
+            ["SKU -> Budget", "SKU > 10", "SKU < 20"],
+        )
+        result = dimsat(ds, "SKU")
+        assert result.satisfiable
+        assert 10 < result.witness.name_of("SKU") < 20
+
+    def test_empty_interval_unsatisfiable(self, priced_hierarchy):
+        ds = DimensionSchema(
+            priced_hierarchy,
+            ["SKU -> Budget", "SKU > 20", "SKU < 10"],
+        )
+        assert not dimsat(ds, "SKU").satisfiable
+
+    def test_boundary_exclusion(self, priced_hierarchy):
+        # > 10 and < 10 and != 10 around a single threshold.
+        ds = DimensionSchema(
+            priced_hierarchy,
+            ["SKU -> Budget", "SKU >= 10", "SKU <= 10"],
+        )
+        result = dimsat(ds, "SKU")
+        assert result.satisfiable
+        assert result.witness.name_of("SKU") == 10.0
+        stricter = ds.with_constraints(["SKU != 10"])
+        assert not dimsat(stricter, "SKU").satisfiable
+
+
+class TestImplication:
+    def test_price_band_implies_branch(self, priced_schema):
+        assert is_implied(priced_schema, "SKU < 50 implies SKU -> Budget")
+        assert is_implied(priced_schema, "SKU > 200 implies SKU -> Premium")
+
+    def test_strictness_of_thresholds(self, priced_schema):
+        # 100 itself is premium (>= 100), so 'below 101 means budget' fails.
+        assert not is_implied(priced_schema, "SKU < 101 implies SKU -> Budget")
+
+    def test_order_transitivity(self, priced_schema):
+        assert is_implied(priced_schema, "SKU < 10 implies SKU < 100")
+        assert not is_implied(priced_schema, "SKU < 100 implies SKU < 10")
+
+    def test_trichotomy(self, priced_schema):
+        assert is_implied(
+            priced_schema, "SKU < 100 or SKU = 100 or SKU > 100"
+        )
+
+    def test_branch_implies_price_band(self, priced_schema):
+        assert is_implied(priced_schema, "SKU -> Premium implies SKU >= 100")
+        assert is_implied(priced_schema, "SKU -> Budget implies SKU < 100")
+
+
+class TestSummarizabilityWithPrices:
+    def test_department_needs_both_branches(self, priced_schema):
+        from repro.core import is_summarizable_in_schema
+
+        assert is_summarizable_in_schema(
+            priced_schema, "Department", ["Premium", "Budget"]
+        )
+        assert not is_summarizable_in_schema(
+            priced_schema, "Department", ["Premium"]
+        )
+
+
+class TestOracleAgreement:
+    def test_brute_force_agrees_on_priced_schema(self, priced_schema):
+        from repro.baselines import (
+            brute_force_frozen_dimensions,
+            brute_force_satisfiable,
+        )
+
+        for category in sorted(priced_schema.hierarchy.categories):
+            assert (
+                brute_force_satisfiable(priced_schema, category)
+                == dimsat(priced_schema, category).satisfiable
+            ), category
+        brute = {
+            f.subhierarchy
+            for f in brute_force_frozen_dimensions(priced_schema, "SKU")
+        }
+        fast = {
+            f.subhierarchy
+            for f in enumerate_frozen_dimensions(priced_schema, "SKU")
+        }
+        assert brute == fast
+
+    def test_brute_force_agrees_on_interval_schemas(self, priced_hierarchy):
+        from repro.baselines import brute_force_satisfiable
+
+        cases = [
+            (["SKU -> Budget", "SKU > 10", "SKU < 20"], True),
+            (["SKU -> Budget", "SKU > 20", "SKU < 10"], False),
+            (["SKU -> Budget", "SKU >= 10", "SKU <= 10", "SKU != 10"], False),
+        ]
+        for constraints, expected in cases:
+            ds = DimensionSchema(priced_hierarchy, constraints)
+            assert dimsat(ds, "SKU").satisfiable is expected
+            assert brute_force_satisfiable(ds, "SKU") is expected

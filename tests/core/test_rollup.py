@@ -1,0 +1,82 @@
+"""Rollup helper tests: chains, witnesses, maximal path enumeration."""
+
+from __future__ import annotations
+
+from repro.core.rollup import (
+    category_paths_from,
+    chain_witness,
+    has_category_chain,
+    reached_categories,
+)
+
+
+class TestCategoryChain:
+    def test_single_step(self, loc_instance):
+        assert has_category_chain(loc_instance, "s1", ["City"])
+        assert not has_category_chain(loc_instance, "s1", ["SaleRegion"])
+
+    def test_multi_step(self, loc_instance):
+        assert has_category_chain(
+            loc_instance, "s1", ["City", "Province", "SaleRegion", "Country"]
+        )
+        assert not has_category_chain(loc_instance, "s1", ["City", "State"])
+
+    def test_empty_chain_trivially_true(self, loc_instance):
+        assert has_category_chain(loc_instance, "s1", [])
+
+    def test_chain_requires_direct_edges(self, loc_instance):
+        # Toronto has no direct Country parent.
+        assert not has_category_chain(loc_instance, "s1", ["City", "Country"])
+        # Washington does.
+        assert has_category_chain(loc_instance, "s5", ["City", "Country"])
+
+
+class TestWitness:
+    def test_witness_matches_chain(self, loc_instance):
+        witness = chain_witness(loc_instance, "s1", ["City", "Province"])
+        assert witness == ("Toronto", "Ontario")
+
+    def test_witness_empty_when_absent(self, loc_instance):
+        assert chain_witness(loc_instance, "s1", ["SaleRegion"]) == ()
+
+    def test_witness_agrees_with_has_chain(self, loc_instance):
+        for member in loc_instance.members("Store"):
+            for chain in (["City"], ["City", "State"], ["SaleRegion", "Country"]):
+                holds = has_category_chain(loc_instance, member, chain)
+                assert bool(chain_witness(loc_instance, member, chain)) == holds
+
+
+class TestMaximalPaths:
+    def test_canadian_store_single_path(self, loc_instance):
+        paths = set(category_paths_from(loc_instance, "s1"))
+        assert paths == {("City", "Province", "SaleRegion", "Country", "All")}
+
+    def test_texan_store_two_paths(self, loc_instance):
+        paths = set(category_paths_from(loc_instance, "s4"))
+        assert paths == {
+            ("City", "State", "Country", "All"),
+            ("SaleRegion", "Country", "All"),
+        }
+
+    def test_washington_store_paths(self, loc_instance):
+        paths = set(category_paths_from(loc_instance, "s5"))
+        assert paths == {
+            ("City", "Country", "All"),
+            ("SaleRegion", "Country", "All"),
+        }
+
+    def test_top_member_has_no_paths(self, loc_instance):
+        assert list(category_paths_from(loc_instance, "all")) == []
+
+
+class TestReachedCategories:
+    def test_canadian_store(self, loc_instance):
+        assert reached_categories(loc_instance, "s1") == frozenset(
+            {"City", "Province", "SaleRegion", "Country", "All"}
+        )
+
+    def test_washington_skips_state_province(self, loc_instance):
+        reached = reached_categories(loc_instance, "s5")
+        assert "State" not in reached
+        assert "Province" not in reached
+        assert "Country" in reached

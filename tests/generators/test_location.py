@@ -1,0 +1,97 @@
+"""Location generator tests: the builders agree with the paper's prose."""
+
+from __future__ import annotations
+
+from repro.constraints import satisfies_all
+from repro.generators.location import (
+    LOCATION_CONSTRAINTS,
+    expected_frozen_names,
+    figure5_subhierarchy,
+    location_hierarchy,
+    location_instance,
+    location_schema,
+    paper_frozen_structures,
+)
+
+
+class TestHierarchy:
+    def test_category_set(self):
+        g = location_hierarchy()
+        assert g.categories == frozenset(
+            {"Store", "City", "State", "Province", "SaleRegion", "Country", "All"}
+        )
+
+    def test_store_is_the_only_bottom(self):
+        assert location_hierarchy().bottom_categories() == frozenset({"Store"})
+
+    def test_acyclic_with_shortcuts(self):
+        g = location_hierarchy()
+        assert not g.is_cyclic()
+        assert g.shortcuts()  # City -> Country at least
+
+
+class TestSchema:
+    def test_seven_constraints(self):
+        assert len(location_schema().constraints) == len(LOCATION_CONSTRAINTS) == 7
+
+    def test_constraint_labels_cover_figure5(self):
+        assert sorted(LOCATION_CONSTRAINTS) == list("abcdefg")
+
+
+class TestInstance:
+    def test_valid_and_satisfies_schema(self):
+        instance = location_instance()
+        assert instance.is_valid()
+        assert satisfies_all(instance, location_schema().constraints)
+
+    def test_prose_all_stores_reach_city_saleregion_country(self):
+        instance = location_instance()
+        for store in instance.members("Store"):
+            for category in ("City", "SaleRegion", "Country"):
+                assert instance.rolls_up_to_category(store, category), (
+                    store,
+                    category,
+                )
+
+    def test_prose_canadian_stores_via_province(self):
+        instance = location_instance()
+        for store in ("s1", "s2", "s6"):
+            assert instance.rolls_up_to_category(store, "Province")
+            assert not instance.rolls_up_to_category(store, "State")
+
+    def test_prose_mexico_usa_via_state(self):
+        instance = location_instance()
+        for store in ("s3", "s4"):
+            assert instance.rolls_up_to_category(store, "State")
+            assert not instance.rolls_up_to_category(store, "Province")
+
+    def test_prose_washington_exception(self):
+        instance = location_instance()
+        assert instance.ancestor_in("s5", "City") == "Washington"
+        assert not instance.rolls_up_to_category("s5", "State")
+        assert instance.ancestor_in("Washington", "Country") == "USA"
+
+    def test_prose_mexican_states_and_provinces_in_saleregions(self):
+        instance = location_instance()
+        assert instance.rolls_up_to_category("DF", "SaleRegion")
+        assert instance.rolls_up_to_category("Ontario", "SaleRegion")
+        # The US state is the exception.
+        assert not instance.rolls_up_to_category("Texas", "SaleRegion")
+
+
+class TestFrozenArtifacts:
+    def test_four_structures(self, loc_hierarchy):
+        structures = paper_frozen_structures()
+        assert set(structures) == {"Canada", "Mexico", "USA", "USA-Washington"}
+        for sub in structures.values():
+            sub.validate(loc_hierarchy)
+
+    def test_expected_names_align_with_structures(self):
+        names = expected_frozen_names()
+        assert set(names) == set(paper_frozen_structures())
+        assert names["USA-Washington"]["City"] == "Washington"
+
+    def test_figure5_subhierarchy_contains_state_and_province(self, loc_hierarchy):
+        sub = figure5_subhierarchy()
+        sub.validate(loc_hierarchy)
+        assert {"State", "Province"} <= sub.categories

@@ -1,0 +1,93 @@
+"""Random schema generator tests: structural guarantees and determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ALL, dimsat
+from repro.generators.random_schema import (
+    RandomSchemaConfig,
+    bottom_category,
+    make_unsatisfiable,
+    random_hierarchy,
+    random_schema,
+    schemas_by_size,
+)
+
+
+class TestHierarchyGeneration:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_structure_is_legal(self, seed):
+        config = RandomSchemaConfig(n_categories=12, seed=seed)
+        hierarchy, primary = random_hierarchy(config)
+        assert len(hierarchy.categories) == 13  # + All
+        assert not hierarchy.is_cyclic()
+        # Every category has a primary edge.
+        assert {c for c, _ in primary} == hierarchy.categories - {ALL}
+
+    def test_deterministic_for_seed(self):
+        config = RandomSchemaConfig(n_categories=10, seed=42)
+        a, _ = random_hierarchy(config)
+        b, _ = random_hierarchy(config)
+        assert a == b
+
+    def test_seeds_differ(self):
+        a, _ = random_hierarchy(RandomSchemaConfig(n_categories=10, seed=1))
+        b, _ = random_hierarchy(RandomSchemaConfig(n_categories=10, seed=2))
+        assert a != b
+
+    def test_small_category_counts(self):
+        for n in (1, 2, 3):
+            config = RandomSchemaConfig(n_categories=n, n_layers=min(2, n), seed=0)
+            hierarchy, _ = random_hierarchy(config)
+            assert len(hierarchy.categories) == n + 1
+
+
+class TestSchemaGeneration:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_schema_validates(self, seed):
+        schema = random_schema(RandomSchemaConfig(n_categories=10, seed=seed))
+        assert schema.constraints  # into constraints at least
+
+    def test_into_fraction_zero_gives_no_intos(self):
+        config = RandomSchemaConfig(
+            n_categories=10,
+            seed=0,
+            into_fraction=0.0,
+            choice_constraint_prob=0.0,
+            equality_constraint_prob=0.0,
+            attributed_fraction=0.0,
+        )
+        schema = random_schema(config)
+        assert schema.constraints == ()
+
+    def test_constants_bounded_by_config(self):
+        config = RandomSchemaConfig(
+            n_categories=12, seed=3, n_constants=3, attributed_fraction=1.0,
+            equality_constraint_prob=1.0,
+        )
+        schema = random_schema(config)
+        assert schema.max_constants() <= 3
+
+    def test_bottom_category_is_a_bottom(self):
+        schema = random_schema(RandomSchemaConfig(n_categories=10, seed=1))
+        bottom = bottom_category(schema)
+        assert bottom in schema.hierarchy.bottom_categories()
+
+
+class TestUnsatInjection:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_forced_unsat(self, seed):
+        schema = random_schema(RandomSchemaConfig(n_categories=8, seed=seed))
+        bottom = bottom_category(schema)
+        assert dimsat(schema, bottom).satisfiable
+        broken = make_unsatisfiable(schema, bottom)
+        assert not dimsat(broken, bottom).satisfiable
+
+
+class TestSweeps:
+    def test_schemas_by_size(self):
+        schemas = schemas_by_size([4, 8, 12])
+        assert sorted(schemas) == [4, 8, 12]
+        for size, schema in schemas.items():
+            assert len(schema.hierarchy.categories) == size + 1

@@ -1,0 +1,93 @@
+"""SAT encoding tests (Theorem 4 reduction, experiment E8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import dimsat, is_category_satisfiable
+from repro.generators.sat_encoding import (
+    Cnf,
+    DUMMY,
+    ROOT,
+    decode_assignment,
+    encode,
+    phase_transition_cnf,
+    random_3cnf,
+    variable_category,
+)
+
+
+class TestCnfToolkit:
+    def test_evaluate(self):
+        cnf = Cnf(2, (((0, True), (1, False)),))  # x0 or not x1
+        assert cnf.evaluate([True, True])
+        assert cnf.evaluate([False, False])
+        assert not cnf.evaluate([False, True])
+
+    def test_brute_force_positive(self):
+        cnf = Cnf(2, (((0, True),), ((1, True),)))
+        assert cnf.brute_force_satisfiable()
+
+    def test_brute_force_negative(self):
+        cnf = Cnf(1, (((0, True),), ((0, False),)))
+        assert not cnf.brute_force_satisfiable()
+
+    def test_random_3cnf_shape(self):
+        cnf = random_3cnf(5, 12, seed=1)
+        assert cnf.n_vars == 5
+        assert len(cnf.clauses) == 12
+        for clause in cnf.clauses:
+            assert len(clause) == 3
+            assert len({var for var, _ in clause}) == 3
+
+    def test_random_3cnf_needs_three_vars(self):
+        with pytest.raises(ValueError):
+            random_3cnf(2, 5)
+
+    def test_phase_transition_ratio(self):
+        cnf = phase_transition_cnf(10, seed=0)
+        assert len(cnf.clauses) == round(4.26 * 10)
+
+
+class TestEncoding:
+    def test_schema_shape(self):
+        cnf = random_3cnf(4, 5, seed=0)
+        schema = encode(cnf)
+        assert schema.hierarchy.has_category(ROOT)
+        assert schema.hierarchy.has_category(DUMMY)
+        for index in range(4):
+            assert schema.hierarchy.has_edge(ROOT, variable_category(index))
+        # One into constraint + one constraint per clause.
+        assert len(schema.constraints) == 6
+
+    def test_trivially_satisfiable(self):
+        cnf = Cnf(3, ())
+        assert is_category_satisfiable(encode(cnf), ROOT)
+
+    def test_contradiction_unsatisfiable(self):
+        cnf = Cnf(3, (((0, True),), ((0, False),)))
+        assert not is_category_satisfiable(encode(cnf), ROOT)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_agrees_with_brute_force(self, seed):
+        cnf = random_3cnf(4, 12, seed=seed)
+        expected = cnf.brute_force_satisfiable()
+        assert is_category_satisfiable(encode(cnf), ROOT) == expected
+
+    def test_witness_decodes_to_satisfying_assignment(self):
+        for seed in range(10):
+            cnf = random_3cnf(4, 8, seed=seed)
+            result = dimsat(encode(cnf), ROOT)
+            if not result.satisfiable:
+                continue
+            assignment = decode_assignment(
+                cnf, result.witness.subhierarchy.categories
+            )
+            assert cnf.evaluate(assignment)
+
+    def test_unit_clauses_pin_assignment(self):
+        cnf = Cnf(3, (((0, True),), ((1, False),), ((2, True),)))
+        result = dimsat(encode(cnf), ROOT)
+        assert result.satisfiable
+        assignment = decode_assignment(cnf, result.witness.subhierarchy.categories)
+        assert assignment == [True, False, True]

@@ -1,0 +1,107 @@
+"""Workload generator tests: instances from frozen dimensions, fact
+tables, and query mixes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import satisfies_all
+from repro.core import is_implied
+from repro.errors import SchemaError
+from repro.generators.location import location_schema
+from repro.generators.suite import personnel_schema, product_schema
+from repro.generators.workloads import (
+    implication_workload,
+    instance_from_frozen,
+    random_fact_table,
+    summarizability_workload,
+)
+
+
+class TestInstanceFromFrozen:
+    @pytest.mark.parametrize(
+        "schema_factory,root",
+        [
+            (location_schema, "Store"),
+            (personnel_schema, "Employee"),
+            (product_schema, "SKU"),
+        ],
+    )
+    def test_valid_and_conformant(self, schema_factory, root):
+        schema = schema_factory()
+        instance = instance_from_frozen(schema, root, copies=3)
+        assert instance.is_valid()
+        assert satisfies_all(instance, schema.constraints)
+
+    def test_scales_with_copies(self):
+        schema = location_schema()
+        small = instance_from_frozen(schema, "Store", copies=1)
+        large = instance_from_frozen(schema, "Store", copies=5)
+        assert len(large) > len(small)
+
+    def test_fan_out_multiplies_roots(self):
+        schema = location_schema()
+        instance = instance_from_frozen(schema, "Store", copies=1, fan_out=4)
+        # 4 frozen templates x 1 copy x 4 leaves.
+        assert len(instance.members("Store")) == 16
+
+    def test_pinned_members_shared(self):
+        schema = location_schema()
+        instance = instance_from_frozen(schema, "Store", copies=3)
+        # One Canada, however many Canadian chains.
+        assert "Country:Canada" in instance.members("Country")
+        assert len(instance.members("Country")) == 3
+
+    def test_unsatisfiable_root_rejected(self):
+        schema = location_schema().with_constraints(["not Store -> City"])
+        with pytest.raises(SchemaError):
+            instance_from_frozen(schema, "Store")
+
+
+class TestRandomFacts:
+    def test_rows_and_measures(self):
+        schema = location_schema()
+        instance = instance_from_frozen(schema, "Store", copies=2)
+        facts = random_fact_table(instance, 40, measures=("sales", "units"), seed=1)
+        assert len(facts) == 40
+        assert facts.measures == frozenset({"sales", "units"})
+
+    def test_deterministic_by_seed(self):
+        schema = location_schema()
+        instance = instance_from_frozen(schema, "Store", copies=2)
+        a = random_fact_table(instance, 10, seed=5)
+        b = random_fact_table(instance, 10, seed=5)
+        assert a.members() == b.members()
+        assert a.values("amount") == b.values("amount")
+
+    def test_requires_base_members(self, loc_schema):
+        from repro.core import DimensionInstance
+
+        empty = DimensionInstance(loc_schema.hierarchy, {}, [])
+        with pytest.raises(SchemaError):
+            random_fact_table(empty, 5)
+
+
+class TestQueryWorkloads:
+    def test_implication_mix(self):
+        schema = location_schema()
+        queries = implication_workload(schema, n_queries=10, seed=0)
+        assert len(queries) == 10
+        verdicts = [is_implied(schema, q) for q in queries]
+        assert any(verdicts) and not all(verdicts)
+
+    def test_implication_needs_constraints(self, loc_hierarchy):
+        from repro.core import DimensionSchema
+
+        bare = DimensionSchema(loc_hierarchy, [])
+        with pytest.raises(SchemaError):
+            implication_workload(bare)
+
+    def test_summarizability_queries_shape(self):
+        schema = location_schema()
+        queries = summarizability_workload(schema, n_queries=15, seed=2)
+        assert len(queries) == 15
+        for target, sources in queries:
+            assert sources
+            for source in sources:
+                assert schema.hierarchy.reaches(source, target)

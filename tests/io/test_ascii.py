@@ -1,0 +1,49 @@
+"""ASCII tree rendering tests."""
+
+from __future__ import annotations
+
+from repro.core import ALL, HierarchySchema
+from repro.io import hierarchy_tree, instance_tree
+
+
+class TestHierarchyTree:
+    def test_root_is_all(self, loc_hierarchy):
+        text = hierarchy_tree(loc_hierarchy)
+        assert text.splitlines()[0] == "All"
+
+    def test_every_category_appears(self, loc_hierarchy):
+        text = hierarchy_tree(loc_hierarchy)
+        for category in loc_hierarchy.categories:
+            assert category in text
+
+    def test_cyclic_schema_renders_finitely(self):
+        g = HierarchySchema(
+            ["A", "B"],
+            [("A", "B"), ("B", "A"), ("A", ALL), ("B", ALL)],
+        )
+        text = hierarchy_tree(g)
+        assert "*" in text  # the cycle marker
+        assert len(text.splitlines()) < 20
+
+
+class TestInstanceTree:
+    def test_every_member_appears(self, loc_instance):
+        text = instance_tree(loc_instance)
+        for member in loc_instance.all_members():
+            assert str(member) in text
+
+    def test_names_annotated(self, chain_hierarchy):
+        from repro.core import DimensionInstance
+
+        d = DimensionInstance(
+            chain_hierarchy,
+            {"d1": "Day", "m": "Month", "y": "Year"},
+            [("d1", "m"), ("m", "y")],
+            names={"m": "January"},
+        )
+        text = instance_tree(d)
+        assert "m (name=January) [Month]" in text
+
+    def test_elision_of_wide_categories(self, loc_instance):
+        text = instance_tree(loc_instance, max_members_per_category=1)
+        assert "more" in text

@@ -1,0 +1,95 @@
+"""CSV loader tests: dimension files, fact files, and error reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OlapError, SchemaError
+from repro.io import facts_from_csv, facts_to_csv, instance_from_csv
+
+DIMENSION_CSV = """member,category,parent,parent_category,name
+s1,Store,Toronto,City,
+s2,Store,Toronto,City,
+Toronto,City,Ontario,Province,
+Ontario,Province,SR-North,SaleRegion,
+SR-North,SaleRegion,Canada,Country,
+Canada,Country,,,
+"""
+
+
+class TestDimensionCsv:
+    def test_loads_valid_instance(self, loc_hierarchy):
+        instance = instance_from_csv(loc_hierarchy, DIMENSION_CSV)
+        assert instance.is_valid()
+        assert instance.ancestor_in("s1", "Country") == "Canada"
+
+    def test_names_column(self, loc_hierarchy):
+        text = DIMENSION_CSV.replace(
+            "Toronto,City,Ontario,Province,",
+            "Toronto,City,Ontario,Province,The Six",
+        )
+        instance = instance_from_csv(loc_hierarchy, text)
+        assert instance.name("Toronto") == "The Six"
+
+    def test_missing_columns_rejected(self, loc_hierarchy):
+        with pytest.raises(SchemaError):
+            instance_from_csv(loc_hierarchy, "member,parent\ns1,Toronto\n")
+
+    def test_empty_member_rejected(self, loc_hierarchy):
+        with pytest.raises(SchemaError, match="line 2"):
+            instance_from_csv(
+                loc_hierarchy, "member,category,parent,parent_category,name\n,Store,,,\n"
+            )
+
+    def test_category_redeclaration_rejected(self, loc_hierarchy):
+        text = (
+            "member,category,parent,parent_category,name\n"
+            "x,Store,,,\n"
+            "x,City,,,\n"
+        )
+        with pytest.raises(SchemaError, match="redeclared"):
+            instance_from_csv(loc_hierarchy, text)
+
+    def test_parent_without_category_rejected(self, loc_hierarchy):
+        text = (
+            "member,category,parent,parent_category,name\n"
+            "s1,Store,Toronto,,\n"
+        )
+        with pytest.raises(SchemaError):
+            instance_from_csv(loc_hierarchy, text)
+
+
+FACT_CSV = """member,sales,profit
+s1,10.5,2.0
+s2,3.25,0.5
+"""
+
+
+class TestFactCsv:
+    def test_loads_facts(self, loc_instance):
+        facts = facts_from_csv(loc_instance, FACT_CSV)
+        assert len(facts) == 2
+        assert facts.measures == frozenset({"sales", "profit"})
+        assert facts.values("sales") == [10.5, 3.25]
+
+    def test_round_trip(self, loc_instance):
+        facts = facts_from_csv(loc_instance, FACT_CSV)
+        again = facts_from_csv(loc_instance, facts_to_csv(facts))
+        assert again.values("sales") == facts.values("sales")
+        assert again.values("profit") == facts.values("profit")
+
+    def test_member_column_required(self, loc_instance):
+        with pytest.raises(OlapError):
+            facts_from_csv(loc_instance, "sales\n1.0\n")
+
+    def test_measure_column_required(self, loc_instance):
+        with pytest.raises(OlapError):
+            facts_from_csv(loc_instance, "member\ns1\n")
+
+    def test_bad_number_reports_line(self, loc_instance):
+        with pytest.raises(OlapError, match="line 3"):
+            facts_from_csv(loc_instance, "member,sales\ns1,1.0\ns2,abc\n")
+
+    def test_unknown_member_rejected(self, loc_instance):
+        with pytest.raises(OlapError):
+            facts_from_csv(loc_instance, "member,sales\nghost,1.0\n")

@@ -1,0 +1,58 @@
+"""DOT exporter tests: structure of the emitted graphs."""
+
+from __future__ import annotations
+
+from repro.core import dimsat, enumerate_frozen_dimensions
+from repro.io import (
+    frozen_set_to_dot,
+    frozen_to_dot,
+    hierarchy_to_dot,
+    instance_to_dot,
+)
+
+
+class TestHierarchyDot:
+    def test_contains_all_edges(self, loc_hierarchy):
+        text = hierarchy_to_dot(loc_hierarchy)
+        assert text.startswith("digraph hierarchy {")
+        assert '"Store" -> "City";' in text
+        assert '"Country" -> "All";' in text
+        assert text.rstrip().endswith("}")
+
+    def test_all_rendered_as_ellipse(self, loc_hierarchy):
+        text = hierarchy_to_dot(loc_hierarchy)
+        assert '"All" [shape=ellipse];' in text
+
+
+class TestInstanceDot:
+    def test_clusters_per_category(self, loc_instance):
+        text = instance_to_dot(loc_instance)
+        assert "subgraph cluster_" in text
+        assert 'label="Country";' in text
+        assert '"s1" -> "Toronto";' in text
+
+    def test_quotes_escaped(self, chain_hierarchy):
+        from repro.core import DimensionInstance
+
+        d = DimensionInstance(
+            chain_hierarchy,
+            {'d"1': "Day", "m": "Month", "y": "Year"},
+            [('d"1', "m"), ("m", "y")],
+        )
+        text = instance_to_dot(d)
+        assert '\\"' in text
+
+
+class TestFrozenDot:
+    def test_pinned_names_annotated(self, loc_schema):
+        frozen = dimsat(loc_schema, "Store").witness
+        text = frozen_to_dot(frozen)
+        assert "digraph frozen {" in text
+        assert "= " in text  # at least Country carries a pinned name
+
+    def test_figure4_rendering(self, loc_schema):
+        frozen = enumerate_frozen_dimensions(loc_schema, "Store")
+        text = frozen_set_to_dot(frozen)
+        assert text.count("subgraph cluster_") == 4
+        assert 'label="f1";' in text
+        assert "Washington" in text

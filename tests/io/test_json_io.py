@@ -1,0 +1,120 @@
+"""JSON serialization round-trip tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.io import (
+    hierarchy_from_dict,
+    hierarchy_to_dict,
+    instance_from_json,
+    instance_to_json,
+    schema_from_json,
+    schema_to_json,
+)
+
+
+class TestHierarchy:
+    def test_round_trip(self, loc_hierarchy):
+        data = hierarchy_to_dict(loc_hierarchy)
+        assert hierarchy_from_dict(data) == loc_hierarchy
+
+    def test_dict_is_json_ready(self, loc_hierarchy):
+        text = json.dumps(hierarchy_to_dict(loc_hierarchy))
+        assert "Store" in text
+
+    def test_malformed_document(self):
+        with pytest.raises(SchemaError):
+            hierarchy_from_dict({"categories": ["A"]})
+
+
+class TestSchema:
+    def test_round_trip_preserves_constraints(self, loc_schema):
+        text = schema_to_json(loc_schema)
+        rebuilt = schema_from_json(text)
+        assert rebuilt.hierarchy == loc_schema.hierarchy
+        assert rebuilt.constraints == loc_schema.constraints
+
+    def test_round_trip_preserves_semantics(self, loc_schema):
+        from repro.core import enumerate_frozen_dimensions
+
+        rebuilt = schema_from_json(schema_to_json(loc_schema))
+        original = {
+            f.subhierarchy for f in enumerate_frozen_dimensions(loc_schema, "Store")
+        }
+        again = {
+            f.subhierarchy for f in enumerate_frozen_dimensions(rebuilt, "Store")
+        }
+        assert original == again
+
+    def test_constraints_optional(self, loc_hierarchy):
+        from repro.io import schema_from_dict
+
+        rebuilt = schema_from_dict(hierarchy_to_dict(loc_hierarchy))
+        assert rebuilt.constraints == ()
+
+
+class TestInstance:
+    def test_round_trip(self, loc_instance):
+        text = instance_to_json(loc_instance)
+        rebuilt = instance_from_json(text)
+        assert rebuilt.is_valid()
+        assert len(rebuilt) == len(loc_instance)
+        assert rebuilt.members("Country") == loc_instance.members("Country")
+        assert set(rebuilt.member_edges()) == set(loc_instance.member_edges())
+
+    def test_names_preserved(self, loc_instance):
+        rebuilt = instance_from_json(instance_to_json(loc_instance))
+        assert rebuilt.name("Washington") == "Washington"
+
+    def test_non_identity_names_preserved(self, chain_hierarchy):
+        from repro.core import DimensionInstance
+
+        d = DimensionInstance(
+            chain_hierarchy,
+            {"d1": "Day", "m": "Month", "y": "Year"},
+            [("d1", "m"), ("m", "y")],
+            names={"m": "January"},
+        )
+        rebuilt = instance_from_json(instance_to_json(d))
+        assert rebuilt.name("m") == "January"
+
+    def test_malformed_document(self):
+        from repro.io import instance_from_dict
+
+        with pytest.raises(SchemaError):
+            instance_from_dict({"members": {}})
+
+
+class TestExtendedConstraints:
+    def test_comparison_constraints_round_trip(self):
+        from repro.core import DimensionSchema, HierarchySchema
+        from repro.io import schema_from_json, schema_to_json
+
+        g = HierarchySchema(
+            ["SKU", "Band"], [("SKU", "Band"), ("Band", "All")]
+        )
+        ds = DimensionSchema(
+            g,
+            [
+                "SKU < 100 implies SKU -> Band",
+                "SKU.Band >= 9.5 or SKU.Band != 0",
+            ],
+        )
+        rebuilt = schema_from_json(schema_to_json(ds))
+        assert rebuilt.constraints == ds.constraints
+        assert rebuilt.thresholds("SKU") == ds.thresholds("SKU")
+
+    def test_exactly_one_round_trip(self, loc_hierarchy):
+        from repro.core import DimensionSchema
+        from repro.io import schema_from_json, schema_to_json
+
+        ds = DimensionSchema(
+            loc_hierarchy,
+            ["one(Store -> City, Store -> SaleRegion)"],
+        )
+        rebuilt = schema_from_json(schema_to_json(ds))
+        assert rebuilt.constraints == ds.constraints

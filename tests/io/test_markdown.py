@@ -1,0 +1,51 @@
+"""Markdown report tests."""
+
+from __future__ import annotations
+
+from repro.io.markdown import schema_report
+
+
+class TestSchemaReport:
+    def test_sections_present(self, loc_schema):
+        text = schema_report(loc_schema)
+        for heading in (
+            "# Dimension schema report",
+            "## Hierarchy",
+            "## Constraints",
+            "## Profile",
+            "## Frozen dimensions (root: Store)",
+            "## Safe aggregation",
+        ):
+            assert heading in text
+
+    def test_constraints_glossed(self, loc_schema):
+        text = schema_report(loc_schema)
+        assert "`Store -> City`" in text
+        assert "every Store has a parent in City" in text
+
+    def test_frozen_inventory_lists_four(self, loc_schema):
+        text = schema_report(loc_schema)
+        assert "Country=Canada" in text
+        assert "City=Washington" in text
+
+    def test_matrix_verdicts(self, loc_schema):
+        text = schema_report(loc_schema, matrix_targets=["Country"])
+        lines = text.splitlines()
+        start = lines.index("## Safe aggregation (single-source summarizability)")
+        row = next(
+            l for l in lines[start:] if l.startswith("| Country |")
+        )
+        # Order: City, Country, Province, SaleRegion, State, Store.
+        cells = [c.strip() for c in row.strip("|").split("|")][1:]
+        assert cells == ["yes", "·", "**NO**", "yes", "**NO**", "yes"]
+
+    def test_unsatisfiable_root_reported(self, loc_schema):
+        hostile = loc_schema.with_constraints(["not Store -> City"])
+        text = schema_report(hostile, root="Store")
+        assert "unsatisfiable" in text
+
+    def test_bare_hierarchy_report(self, loc_hierarchy):
+        from repro.core import DimensionSchema
+
+        text = schema_report(DimensionSchema(loc_hierarchy, []))
+        assert "*(none - the hierarchy schema alone)*" in text

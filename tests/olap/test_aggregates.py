@@ -1,0 +1,61 @@
+"""Distributive aggregate tests: base/combine semantics and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OlapError
+from repro.olap import COUNT, MAX, MIN, SUM, all_aggregates, by_name
+
+
+class TestSemantics:
+    def test_sum(self):
+        assert SUM.aggregate([1.0, 2.0, 3.0]) == 6.0
+        assert SUM.recombine([3.0, 3.0]) == 6.0
+
+    def test_count_combines_with_sum(self):
+        assert COUNT.aggregate([5.0, 5.0, 5.0]) == 3.0
+        assert COUNT.recombine([3.0, 2.0]) == 5.0
+        assert COUNT.combine_name == "SUM"
+
+    def test_min_max(self):
+        assert MIN.aggregate([3.0, 1.0, 2.0]) == 1.0
+        assert MAX.aggregate([3.0, 1.0, 2.0]) == 3.0
+        assert MIN.recombine([1.0, 0.5]) == 0.5
+        assert MAX.recombine([1.0, 0.5]) == 1.0
+
+    def test_empty_groups(self):
+        assert SUM.aggregate([]) == 0.0
+        assert COUNT.aggregate([]) == 0.0
+        with pytest.raises(OlapError):
+            MIN.aggregate([])
+        with pytest.raises(OlapError):
+            MAX.recombine([])
+
+    def test_distributivity_on_random_partitions(self):
+        import random
+
+        rng = random.Random(7)
+        values = [rng.uniform(-10, 10) for _ in range(40)]
+        for agg in all_aggregates():
+            direct = agg.aggregate(values)
+            cut = rng.randint(1, len(values) - 1)
+            partials = [agg.aggregate(values[:cut]), agg.aggregate(values[cut:])]
+            assert agg.recombine(partials) == pytest.approx(direct)
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert by_name("sum") is SUM
+        assert by_name("Count") is COUNT
+
+    def test_avg_rejected_with_hint(self):
+        with pytest.raises(OlapError, match="not distributive"):
+            by_name("AVG")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(OlapError):
+            by_name("MEDIAN")
+
+    def test_all_aggregates_stable(self):
+        assert [a.name for a in all_aggregates()] == ["SUM", "COUNT", "MIN", "MAX"]

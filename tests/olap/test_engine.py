@@ -1,0 +1,76 @@
+"""OlapEngine tests: integrity reports, query round trips, design-stage
+helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OlapError
+from repro.olap import OlapEngine
+
+ROWS = [
+    ("s1", {"sales": 10.0}),
+    ("s3", {"sales": 4.0}),
+    ("s5", {"sales": 2.0}),
+]
+
+
+@pytest.fixture()
+def engine(loc_schema, loc_instance):
+    return OlapEngine(loc_schema, loc_instance, ROWS)
+
+
+class TestIntegrity:
+    def test_clean_instance_reports_nothing(self, engine):
+        assert engine.check_integrity() == []
+
+    def test_constraint_violation_reported(self, loc_schema, loc_instance):
+        from repro.core import DimensionInstance
+
+        # Clone the instance but orphan a store from City (violates (a)).
+        members = {m: loc_instance.category_of(m) for m in loc_instance.all_members()}
+        edges = [
+            (c, p)
+            for c, p in loc_instance.member_edges()
+            if (c, p) != ("s1", "Toronto")
+        ]
+        edges.append(("s1", "SR-North"))
+        broken = DimensionInstance(loc_schema.hierarchy, members, edges)
+        engine = OlapEngine(loc_schema, broken, ROWS)
+        problems = engine.check_integrity()
+        assert any("Store -> City" in p for p in problems)
+
+    def test_hierarchy_mismatch_rejected(self, loc_schema, chain_instance):
+        with pytest.raises(OlapError):
+            OlapEngine(loc_schema, chain_instance, [])
+
+
+class TestQueries:
+    def test_materialize_then_query(self, engine):
+        engine.materialize("City", "SUM", "sales")
+        cells = engine.query_cells("Country", "SUM", "sales")
+        assert cells == {"Canada": 10.0, "Mexico": 4.0, "USA": 2.0}
+
+    def test_query_returns_plan(self, engine):
+        _view, plan = engine.query("Country", "SUM", "sales")
+        assert plan.kind == "base-scan"
+
+    def test_aggregate_objects_accepted(self, engine):
+        from repro.olap import SUM
+
+        view = engine.materialize("Country", SUM, "sales")
+        assert view.cells["Canada"] == 10.0
+
+    def test_avg_rejected(self, engine):
+        with pytest.raises(OlapError):
+            engine.query("Country", "AVG", "sales")
+
+
+class TestDesignStage:
+    def test_safe_sources(self, engine):
+        sources = engine.safe_aggregation_sources("Country")
+        assert frozenset({"City"}) in sources
+
+    def test_safe_sources_exclude_unsafe(self, engine):
+        sources = engine.safe_aggregation_sources("Country")
+        assert frozenset({"State", "Province"}) not in sources

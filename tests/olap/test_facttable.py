@@ -1,0 +1,70 @@
+"""Fact table tests: construction checks, accessors, grouping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OlapError
+from repro.olap import FactTable
+
+
+class TestConstruction:
+    def test_accepts_base_members(self, loc_instance):
+        facts = FactTable(loc_instance, [("s1", {"sales": 1.0})])
+        assert len(facts) == 1
+        assert facts.measures == frozenset({"sales"})
+
+    def test_rejects_non_base_member(self, loc_instance):
+        with pytest.raises(OlapError):
+            FactTable(loc_instance, [("Toronto", {"sales": 1.0})])
+
+    def test_rejects_unknown_member(self, loc_instance):
+        with pytest.raises(OlapError):
+            FactTable(loc_instance, [("ghost", {"sales": 1.0})])
+
+    def test_rejects_inconsistent_measures(self, loc_instance):
+        with pytest.raises(OlapError):
+            FactTable(
+                loc_instance,
+                [("s1", {"sales": 1.0}), ("s2", {"profit": 1.0})],
+            )
+
+    def test_empty_table(self, loc_instance):
+        facts = FactTable(loc_instance, [])
+        assert len(facts) == 0
+        assert facts.measures == frozenset()
+
+
+class TestAccessors:
+    @pytest.fixture()
+    def facts(self, loc_instance):
+        return FactTable(
+            loc_instance,
+            [
+                ("s1", {"sales": 1.0, "profit": 0.1}),
+                ("s1", {"sales": 2.0, "profit": 0.2}),
+                ("s4", {"sales": 3.0, "profit": 0.3}),
+            ],
+        )
+
+    def test_members_with_multiplicity(self, facts):
+        assert facts.members() == ["s1", "s1", "s4"]
+
+    def test_values_in_row_order(self, facts):
+        assert facts.values("sales") == [1.0, 2.0, 3.0]
+
+    def test_missing_measure_raises(self, facts):
+        with pytest.raises(OlapError):
+            facts.values("weight")
+
+    def test_group_by_member(self, facts):
+        grouped = facts.group_by_member("sales")
+        assert grouped == {"s1": [1.0, 2.0], "s4": [3.0]}
+
+    def test_restrict(self, facts):
+        smaller = facts.restrict(["s1"])
+        assert len(smaller) == 2
+        assert smaller.members() == ["s1", "s1"]
+
+    def test_repr(self, facts):
+        assert "3 facts" in repr(facts)

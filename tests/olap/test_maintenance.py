@@ -1,0 +1,102 @@
+"""Incremental view maintenance tests: delta merges equal full rebuilds
+for every distributive aggregate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OlapError
+from repro.olap import FactTable, all_aggregates, cube_view, views_equal
+from repro.olap.maintenance import MaintainedNavigator, apply_delta
+
+BASE_ROWS = [
+    ("s1", {"sales": 10.0}),
+    ("s3", {"sales": 4.0}),
+    ("s4", {"sales": 9.0}),
+]
+DELTA_ROWS = [
+    ("s1", {"sales": 2.0}),   # existing cell grows
+    ("s5", {"sales": 7.0}),   # new cells appear (Washington chain)
+    ("s6", {"sales": 1.0}),
+]
+
+
+class TestApplyDelta:
+    @pytest.mark.parametrize("aggregate", all_aggregates(), ids=lambda a: a.name)
+    def test_delta_equals_rebuild(self, loc_instance, aggregate):
+        base = FactTable(loc_instance, BASE_ROWS)
+        delta = FactTable(loc_instance, DELTA_ROWS)
+        full = FactTable(loc_instance, BASE_ROWS + DELTA_ROWS)
+        for category in ("Store", "City", "State", "Country"):
+            stale = cube_view(base, category, aggregate, "sales")
+            patched = apply_delta(loc_instance, stale, delta)
+            rebuilt = cube_view(full, category, aggregate, "sales")
+            assert views_equal(patched, rebuilt), (aggregate.name, category)
+
+    def test_empty_delta_is_identity(self, loc_instance):
+        from repro.olap import SUM
+
+        base = FactTable(loc_instance, BASE_ROWS)
+        view = cube_view(base, "Country", SUM, "sales")
+        patched = apply_delta(loc_instance, view, FactTable(loc_instance, []))
+        assert views_equal(view, patched)
+
+    def test_foreign_dimension_rejected(self, loc_instance, chain_instance):
+        from repro.olap import SUM
+
+        base = FactTable(loc_instance, BASE_ROWS)
+        view = cube_view(base, "Country", SUM, "sales")
+        foreign = FactTable(chain_instance, [("d1", {"sales": 1.0})])
+        with pytest.raises(OlapError):
+            apply_delta(loc_instance, view, foreign)
+
+
+class TestMaintainedNavigator:
+    def test_views_follow_appends(self, loc_instance, loc_schema):
+        from repro.olap import SUM
+
+        navigator = MaintainedNavigator(
+            FactTable(loc_instance, BASE_ROWS), schema=loc_schema
+        )
+        navigator.materialize("City", SUM, "sales")
+        navigator.materialize("Country", SUM, "sales")
+        appended = navigator.append(DELTA_ROWS)
+        assert appended == 3
+
+        full = FactTable(loc_instance, BASE_ROWS + DELTA_ROWS)
+        for category in ("City", "Country"):
+            stored, plan = navigator.answer(category, SUM, "sales")
+            assert plan.kind == "materialized"
+            rebuilt = cube_view(full, category, SUM, "sales")
+            assert views_equal(stored, rebuilt), category
+
+    def test_rewrites_after_append_stay_correct(self, loc_instance, loc_schema):
+        from repro.olap import SUM
+
+        navigator = MaintainedNavigator(
+            FactTable(loc_instance, BASE_ROWS), schema=loc_schema
+        )
+        navigator.materialize("City", SUM, "sales")
+        navigator.append(DELTA_ROWS)
+        view, plan = navigator.answer("Country", SUM, "sales")
+        assert plan.kind == "rewritten"
+        full = FactTable(loc_instance, BASE_ROWS + DELTA_ROWS)
+        assert views_equal(view, cube_view(full, "Country", SUM, "sales"))
+
+    def test_base_scans_see_new_facts(self, loc_instance, loc_schema):
+        from repro.olap import SUM
+
+        navigator = MaintainedNavigator(
+            FactTable(loc_instance, BASE_ROWS), schema=loc_schema
+        )
+        navigator.append(DELTA_ROWS)
+        view, plan = navigator.answer("Province", SUM, "sales")
+        assert plan.kind == "base-scan"
+        assert view.cells["BritishColumbia"] == 1.0
+
+    def test_empty_append(self, loc_instance, loc_schema):
+        navigator = MaintainedNavigator(
+            FactTable(loc_instance, BASE_ROWS), schema=loc_schema
+        )
+        assert navigator.append([]) == 0
+        assert len(navigator.facts) == len(BASE_ROWS)

@@ -1,0 +1,122 @@
+"""Experiment E12: cross-validation of Theorem 1 against Definition 6.
+
+Theorem 1 says: ``c`` is summarizable from ``S`` iff the constraint
+``c_b.c implies one(c_b.ci.c ...)`` holds for every bottom category.  We
+check both directions on real data:
+
+* when the constraint holds, recombining cube views from ``S`` must equal
+  the directly computed view *for every fact table and every distributive
+  aggregate* (we sample several random fact tables and all four
+  aggregates);
+* when the constraint fails, there must exist a fact table on which the
+  recombination is wrong - and the witness is easy to build: put one fact
+  on a base member violating the condition.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core import is_summarizable_in_instance
+from repro.core.summarizability import summarizability_constraints
+from repro.constraints import satisfies_at
+from repro.generators.location import location_instance
+from repro.generators.suite import personnel_instance, time_instance
+from repro.generators.workloads import random_fact_table
+from repro.olap import SUM, all_aggregates, cube_view, recombine, views_equal
+
+INSTANCES = {
+    "location": location_instance,
+    "personnel": personnel_instance,
+    "time": time_instance,
+}
+
+SOURCE_SETS = {
+    "location": [
+        ("Country", ("City",)),
+        ("Country", ("SaleRegion",)),
+        ("Country", ("State", "Province")),
+        ("Country", ("City", "SaleRegion")),
+        ("SaleRegion", ("Province",)),
+        ("SaleRegion", ("Store",)),
+        ("Country", ("Store",)),
+        ("State", ("City",)),
+    ],
+    "personnel": [
+        ("Division", ("Department",)),
+        ("Division", ("Team",)),
+        ("Department", ("Team",)),
+        ("Department", ("Employee",)),
+    ],
+    "time": [
+        ("Year", ("Month",)),
+        ("Year", ("Week",)),
+        ("Year", ("Quarter",)),
+        ("Quarter", ("Month",)),
+        ("Year", ("Month", "Week")),
+    ],
+}
+
+
+def cases():
+    for name in INSTANCES:
+        for target, sources in SOURCE_SETS[name]:
+            yield pytest.param(name, target, sources, id=f"{name}:{target}<-{','.join(sources)}")
+
+
+@pytest.mark.parametrize("name,target,sources", list(cases()))
+def test_theorem1_agrees_with_definition6(name, target, sources):
+    instance = INSTANCES[name]()
+    summarizable = is_summarizable_in_instance(instance, target, sources)
+
+    if summarizable:
+        # Forward direction: correct for every sampled fact table and
+        # every distributive aggregate.
+        for seed in range(3):
+            facts = random_fact_table(instance, n_facts=25, seed=seed)
+            for agg in all_aggregates():
+                direct = cube_view(facts, target, agg, "amount")
+                views = [cube_view(facts, c, agg, "amount") for c in sources]
+                derived = recombine(instance, target, views, agg)
+                assert views_equal(direct, derived), (seed, agg.name)
+    else:
+        # Converse: build the witness fact table from a violating member.
+        witness = _violating_base_member(instance, target, sources)
+        assert witness is not None, "Theorem 1 failed but no violating member"
+        facts = type(random_fact_table(instance, 1))(
+            instance, [(witness, {"amount": 1.0})]
+        )
+        direct = cube_view(facts, target, SUM, "amount")
+        views = [cube_view(facts, c, SUM, "amount") for c in sources]
+        derived = recombine(instance, target, views, SUM)
+        assert not views_equal(direct, derived)
+
+
+def _violating_base_member(instance, target, sources):
+    for bottom, node in summarizability_constraints(
+        instance.hierarchy, target, sources
+    ):
+        for member in instance.members(bottom):
+            if not satisfies_at(instance, member, node):
+                return member
+    return None
+
+
+def test_every_pair_crossvalidates_on_location():
+    """Exhaustive single-source sweep over the location dimension."""
+    instance = location_instance()
+    hierarchy = instance.hierarchy
+    categories = sorted(hierarchy.categories - {"All"})
+    facts = random_fact_table(instance, n_facts=30, seed=99)
+    for source, target in itertools.permutations(categories, 2):
+        if not hierarchy.reaches(source, target):
+            continue
+        summarizable = is_summarizable_in_instance(instance, target, [source])
+        direct = cube_view(facts, target, SUM, "amount")
+        derived = recombine(
+            instance, target, [cube_view(facts, source, SUM, "amount")], SUM
+        )
+        if summarizable:
+            assert views_equal(direct, derived), (source, target)

@@ -1,0 +1,71 @@
+"""E6 - Examples 2, 7, 10 and Theorem 1: summarizability on location."""
+
+from __future__ import annotations
+
+from repro.constraints import parse, satisfies
+from repro.core import (
+    is_implied,
+    is_summarizable_in_instance,
+    is_summarizable_in_schema,
+)
+
+
+class TestExample2:
+    def test_country_summarizable_from_city(self, loc_instance):
+        """Example 2(i): all the stores roll up to Country passing through
+        City, so Country is summarizable from {City}."""
+        assert is_summarizable_in_instance(loc_instance, "Country", ["City"])
+
+    def test_not_inferable_from_hierarchy_alone(self, loc_schema):
+        """Example 2: the bare hierarchy schema admits stores that bypass
+        City; only the constraints rule them out."""
+        from repro.core import DimensionSchema
+
+        bare = DimensionSchema(loc_schema.hierarchy, [])
+        assert not is_summarizable_in_schema(bare, "Country", ["City"])
+        assert is_summarizable_in_schema(loc_schema, "Country", ["City"])
+
+
+class TestExample7:
+    def test_store_salesregion_composed_atom(self, loc_instance, loc_schema):
+        """Example 7: Store.SaleRegion asserts all stores roll up to
+        SaleRegion; it holds in the instance and is implied by the schema."""
+        node = parse("Store.SaleRegion")
+        assert satisfies(loc_instance, node)
+        assert is_implied(loc_schema, node)
+
+
+class TestExample10:
+    def test_positive_direction(self, loc_instance):
+        """location |= Store.Country implies Store.City.Country."""
+        node = parse("Store.Country implies Store.City.Country")
+        assert satisfies(loc_instance, node)
+        assert is_summarizable_in_instance(loc_instance, "Country", ["City"])
+
+    def test_negative_direction(self, loc_instance):
+        """location does not satisfy
+        Store.Country implies (Store.State.Country xor Store.Province.Country),
+        because the Washington store bypasses both."""
+        node = parse(
+            "Store.Country implies "
+            "(Store.State.Country xor Store.Province.Country)"
+        )
+        assert not satisfies(loc_instance, node)
+        assert not is_summarizable_in_instance(
+            loc_instance, "Country", ["State", "Province"]
+        )
+
+    def test_washington_is_the_culprit(self, loc_instance):
+        from repro.constraints import violating_members
+
+        node = parse(
+            "Store.Country implies "
+            "(Store.State.Country xor Store.Province.Country)"
+        )
+        assert violating_members(loc_instance, node) == ["s5"]
+
+    def test_schema_level_agrees(self, loc_schema):
+        assert is_summarizable_in_schema(loc_schema, "Country", ["City"])
+        assert not is_summarizable_in_schema(
+            loc_schema, "Country", ["State", "Province"]
+        )

@@ -1,0 +1,50 @@
+"""E7 - Example 11 and Section 4: category satisfiability."""
+
+from __future__ import annotations
+
+from repro.core import (
+    ALL,
+    dimsat,
+    is_category_satisfiable,
+    prune_unsatisfiable,
+    unsatisfiable_categories,
+)
+
+
+class TestExample11:
+    def test_saleregion_becomes_unsatisfiable(self, loc_schema):
+        """Adding `not SaleRegion -> Country` kills SaleRegion because
+        condition (C7) requires SaleRegion_Country (Country is its only
+        parent category)."""
+        extended = loc_schema.with_constraints(["not SaleRegion -> Country"])
+        assert is_category_satisfiable(loc_schema, "SaleRegion")
+        assert not is_category_satisfiable(extended, "SaleRegion")
+
+    def test_unsatisfiability_cascades_to_store(self, loc_schema):
+        """Constraint (b) forces every store through SaleRegion, so Store
+        dies with it; Province too (its only parent is SaleRegion)."""
+        extended = loc_schema.with_constraints(["not SaleRegion -> Country"])
+        bad = unsatisfiable_categories(extended)
+        assert set(bad) == {"SaleRegion", "Store", "Province"}
+
+    def test_dropping_unsatisfiable_categories(self, loc_schema):
+        """Section 4: unsatisfiable categories can be dropped, providing a
+        cleaner representation of the data."""
+        extended = loc_schema.with_constraints(["not SaleRegion -> Country"])
+        pruned, dropped = prune_unsatisfiable(extended)
+        assert set(dropped) == {"SaleRegion", "Store", "Province"}
+        assert unsatisfiable_categories(pruned) == []
+
+
+class TestSection4:
+    def test_proposition1_every_schema_satisfiable(self, loc_schema):
+        """Proposition 1: I(ds) is never empty - All is always
+        satisfiable, even under contradictory constraints elsewhere."""
+        hostile = loc_schema.with_constraints(
+            ["not Store -> City and Store -> City"]
+        )
+        assert dimsat(hostile, ALL).satisfiable
+
+    def test_all_never_reported_unsatisfiable(self, loc_schema):
+        hostile = loc_schema.with_constraints(["not Store -> City"])
+        assert ALL not in unsatisfiable_categories(hostile)

@@ -1,0 +1,143 @@
+"""Example 4: cyclic hierarchy schemas.
+
+"Suppose that some cities have ancestors in SaleDistrict, while some sale
+districts have ancestors in City. ... in order to model this dimension,
+we need the cycle SaleDistrict -> City -> SaleDistrict in the hierarchy
+schema."
+
+The cycle lives in ``G`` only: instances stay stratified (C6), and the
+subhierarchies DIMSAT explores are acyclic - the two orientations simply
+become two different frozen dimensions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import brute_force_frozen_dimensions
+from repro.constraints import satisfies_all
+from repro.core import (
+    ALL,
+    DimensionInstance,
+    DimensionSchema,
+    HierarchySchema,
+    dimsat,
+    enumerate_frozen_dimensions,
+    is_summarizable_in_schema,
+)
+
+
+@pytest.fixture(scope="module")
+def cyclic_hierarchy():
+    return HierarchySchema(
+        ["Store", "SaleDistrict", "City"],
+        [
+            ("Store", "City"),
+            ("Store", "SaleDistrict"),
+            ("SaleDistrict", "City"),
+            ("City", "SaleDistrict"),
+            ("City", ALL),
+            ("SaleDistrict", ALL),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def cyclic_schema(cyclic_hierarchy):
+    return DimensionSchema(
+        cyclic_hierarchy,
+        [
+            "one(Store -> City, Store -> SaleDistrict)",
+        ],
+    )
+
+
+@pytest.fixture()
+def cyclic_instance(cyclic_hierarchy):
+    """Both orientations at once: c1 sits under d1, d2 sits under c2."""
+    members = {
+        "s1": "Store",
+        "s2": "Store",
+        "c1": "City",
+        "c2": "City",
+        "d1": "SaleDistrict",
+        "d2": "SaleDistrict",
+    }
+    edges = [
+        ("s1", "c1"),
+        ("c1", "d1"),   # a city inside a sale district
+        ("s2", "d2"),
+        ("d2", "c2"),   # a sale district inside a city
+    ]
+    return DimensionInstance(cyclic_hierarchy, members, edges)
+
+
+class TestTheCycleItself:
+    def test_schema_is_cyclic_but_legal(self, cyclic_hierarchy):
+        assert cyclic_hierarchy.is_cyclic()
+        assert cyclic_hierarchy.reaches("City", "SaleDistrict")
+        assert cyclic_hierarchy.reaches("SaleDistrict", "City")
+
+    def test_instance_mixes_both_orientations(self, cyclic_instance):
+        assert cyclic_instance.is_valid()
+        assert cyclic_instance.rolls_up_to_category("c1", "SaleDistrict")
+        assert cyclic_instance.rolls_up_to_category("d2", "City")
+
+    def test_member_level_stays_acyclic(self, cyclic_instance):
+        # (C6): no member is its own ancestor even though G has a cycle.
+        for member in cyclic_instance.all_members():
+            assert member not in cyclic_instance.ancestors_of(member)
+
+
+class TestReasoningOverTheCycle:
+    def test_all_categories_satisfiable(self, cyclic_schema):
+        for category in cyclic_schema.hierarchy.categories:
+            assert dimsat(cyclic_schema, category).satisfiable, category
+
+    def test_frozen_dimensions_cover_both_orientations(self, cyclic_schema):
+        frozen = enumerate_frozen_dimensions(cyclic_schema, "Store")
+        edges = {f.subhierarchy.edges for f in frozen}
+        assert frozenset(
+            {("Store", "City"), ("City", "SaleDistrict"), ("SaleDistrict", ALL)}
+        ) in edges
+        assert frozenset(
+            {("Store", "SaleDistrict"), ("SaleDistrict", "City"), ("City", ALL)}
+        ) in edges
+        # Every explored subhierarchy is acyclic despite the cyclic G.
+        for f in frozen:
+            assert f.subhierarchy.is_acyclic()
+
+    def test_agrees_with_brute_force(self, cyclic_schema):
+        fast = {
+            f.subhierarchy
+            for f in enumerate_frozen_dimensions(cyclic_schema, "Store")
+        }
+        brute = {
+            f.subhierarchy
+            for f in brute_force_frozen_dimensions(cyclic_schema, "Store")
+        }
+        assert fast == brute
+
+    def test_witnesses_conform(self, cyclic_schema):
+        for frozen in enumerate_frozen_dimensions(cyclic_schema, "Store"):
+            instance = frozen.to_instance(cyclic_schema)
+            assert instance.is_valid()
+            assert satisfies_all(instance, cyclic_schema.constraints)
+
+    def test_neither_direction_is_summarizable_alone(self, cyclic_schema):
+        # Stores may sit under City-first chains or SaleDistrict-first
+        # chains, so neither mid category can derive the other.
+        assert not is_summarizable_in_schema(
+            cyclic_schema, "SaleDistrict", ["City"]
+        )
+        assert not is_summarizable_in_schema(cyclic_schema, "City", ["SaleDistrict"])
+        # The base category itself always works (trivial rewriting).
+        assert is_summarizable_in_schema(cyclic_schema, "City", ["Store"])
+
+    def test_pinning_one_orientation(self, cyclic_schema):
+        oriented = cyclic_schema.with_constraints(
+            ["Store -> City", "City -> SaleDistrict"]
+        )
+        frozen = enumerate_frozen_dimensions(oriented, "Store")
+        assert len(frozen) == 1
+        assert is_summarizable_in_schema(oriented, "SaleDistrict", ["City"])

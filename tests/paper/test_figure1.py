@@ -1,0 +1,81 @@
+"""E1 - Figure 1: the `location` dimension.
+
+The hierarchy schema (A) and the child/parent relation (B), checked
+against every statement Section 1.1 makes about them.
+"""
+
+from __future__ import annotations
+
+from repro.core import ALL
+
+
+class TestHierarchySchemaFigure1A:
+    def test_edges(self, loc_hierarchy):
+        assert loc_hierarchy.edges == frozenset(
+            {
+                ("Store", "City"),
+                ("Store", "SaleRegion"),
+                ("City", "State"),
+                ("City", "Province"),
+                ("City", "Country"),
+                ("State", "SaleRegion"),
+                ("State", "Country"),
+                ("Province", "SaleRegion"),
+                ("SaleRegion", "Country"),
+                ("Country", ALL),
+            }
+        )
+
+    def test_example3_shortcut(self, loc_hierarchy):
+        """Example 3: the categories City and Country form a shortcut."""
+        assert ("City", "Country") in loc_hierarchy.shortcuts()
+
+    def test_example2_bypass_exists_in_schema(self, loc_hierarchy):
+        """Example 2: the hierarchy schema alone admits stores that reach
+        Country through SaleRegion without passing through City."""
+        bypasses = [
+            path
+            for path in loc_hierarchy.simple_paths("Store", "Country")
+            if "City" not in path
+        ]
+        assert bypasses == [("Store", "SaleRegion", "Country")]
+
+
+class TestInstanceFigure1B:
+    def test_satisfies_all_conditions(self, loc_instance):
+        assert loc_instance.violations() == []
+
+    def test_rollup_of_toronto(self, loc_instance):
+        """Section 1: Toronto rolls up to Ontario and, transitively, to
+        Canada."""
+        assert loc_instance.leq("Toronto", "Ontario")
+        assert loc_instance.leq("Toronto", "Canada")
+
+    def test_stores_in_three_countries(self, loc_instance):
+        countries = {
+            loc_instance.ancestor_in(store, "Country")
+            for store in loc_instance.members("Store")
+        }
+        assert countries == {"Canada", "Mexico", "USA"}
+
+    def test_heterogeneity_of_store_category(self, loc_instance):
+        """Stores disagree on ancestor categories: the dimension is
+        heterogeneous."""
+        signatures = {
+            frozenset(
+                loc_instance.category_of(a)
+                for a in loc_instance.ancestors_of(store)
+            )
+            for store in loc_instance.members("Store")
+        }
+        assert len(signatures) > 1
+
+    def test_rollup_mappings_are_functions(self, loc_instance):
+        """Condition (C2) makes every rollup mapping single valued."""
+        hierarchy = loc_instance.hierarchy
+        for lower in hierarchy.categories:
+            for upper in hierarchy.categories:
+                if lower == upper:
+                    continue
+                mapping = loc_instance.rollup_mapping(lower, upper)
+                assert len(mapping) == len(set(mapping))

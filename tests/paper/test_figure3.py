@@ -1,0 +1,80 @@
+"""E2 - Figure 3 / Example 8: the dimension schema locationSch.
+
+The schema models the location dimension: the concrete instance is a
+member of I(locationSch), the equality atoms differentiate the country
+structures, and the Washington shortcut is expressible.
+"""
+
+from __future__ import annotations
+
+from repro.constraints import EqualityAtom, satisfies, satisfies_all
+from repro.core import DimensionInstance
+
+
+class TestLocationSchModelsLocation:
+    def test_instance_is_over_the_schema(self, loc_schema, loc_instance):
+        """`location` is a dimension instance over locationSch."""
+        assert loc_instance.hierarchy == loc_schema.hierarchy
+        assert satisfies_all(loc_instance, loc_schema.constraints)
+
+    def test_equality_atoms_differentiate_countries(self, loc_schema):
+        """Example 8: locationSch uses equality atoms to differentiate the
+        structure of the stores in each country."""
+        constants = {
+            atom.constant
+            for node in loc_schema.constraints
+            for atom in node.atoms()
+            if isinstance(atom, EqualityAtom)
+        }
+        assert constants == {"Washington", "Canada", "Mexico", "USA"}
+
+    def test_washington_shortcut_modelled(self, loc_schema, loc_instance):
+        """Example 8: locationSch models the shortcut caused by
+        Washington - only Washington may use the City -> Country edge."""
+        from repro.constraints import parse
+
+        node = parse("City -> Country implies City = 'Washington'")
+        # Implied by (c) of the schema.
+        from repro.core import is_implied
+
+        assert is_implied(loc_schema, node)
+        assert satisfies(loc_instance, node)
+
+
+class TestSchemaRejectsBadInstances:
+    def _mutate(self, loc_instance, drop, add):
+        members = {
+            m: loc_instance.category_of(m) for m in loc_instance.all_members()
+        }
+        edges = [e for e in loc_instance.member_edges() if e not in drop]
+        edges.extend(add)
+        return DimensionInstance(
+            loc_instance.hierarchy, members, edges, validate=False
+        )
+
+    def test_orphaned_store_violates_a(self, loc_schema, loc_instance):
+        broken = self._mutate(
+            loc_instance, drop={("s1", "Toronto")}, add=[("s1", "SR-North")]
+        )
+        assert broken.is_valid()
+        assert not satisfies_all(broken, loc_schema.constraints)
+
+    def test_non_washington_shortcut_violates_c(self, loc_schema, loc_instance):
+        broken = self._mutate(
+            loc_instance,
+            drop={("Vancouver", "BritishColumbia")},
+            add=[("Vancouver", "Canada")],
+        )
+        assert broken.is_valid()
+        # (c) City = 'Washington' iff City -> Country now fails at Vancouver.
+        assert not satisfies_all(broken, loc_schema.constraints)
+
+    def test_province_outside_canada_violates_g(self, loc_schema, loc_instance):
+        # Rewire British Columbia into the Mexican sale region.
+        broken = self._mutate(
+            loc_instance,
+            drop={("BritishColumbia", "SR-North"), ("s6", "Vancouver")},
+            add=[("BritishColumbia", "SR-South"), ("s6", "Vancouver")],
+        )
+        assert broken.is_valid()
+        assert not satisfies_all(broken, loc_schema.constraints)

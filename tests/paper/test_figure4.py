@@ -1,0 +1,86 @@
+"""E3 - Figure 4: the frozen dimensions of locationSch with root Store.
+
+Example 9: the set illustrates the different structures of the stores in
+Mexico, USA, and Canada (the USA contributing two structures: the regular
+one and the Washington exception).
+"""
+
+from __future__ import annotations
+
+from repro.constraints import satisfies_all
+from repro.core import NK, enumerate_frozen_dimensions
+from repro.generators.location import (
+    expected_frozen_names,
+    paper_frozen_structures,
+)
+
+
+def frozen_by_structure(loc_schema):
+    found = enumerate_frozen_dimensions(loc_schema, "Store")
+    structures = paper_frozen_structures()
+    by_name = {}
+    for name, sub in structures.items():
+        for frozen in found:
+            if frozen.subhierarchy == sub:
+                by_name[name] = frozen
+    return found, by_name
+
+
+class TestFigure4:
+    def test_exactly_four_frozen_dimensions(self, loc_schema):
+        found, by_name = frozen_by_structure(loc_schema)
+        assert len(found) == 4
+        assert set(by_name) == {"Canada", "Mexico", "USA", "USA-Washington"}
+
+    def test_pinned_names_match_figure(self, loc_schema):
+        _found, by_name = frozen_by_structure(loc_schema)
+        for name, expected in expected_frozen_names().items():
+            frozen = by_name[name]
+            for category, constant in expected.items():
+                assert frozen.name_of(category) == constant, (name, category)
+
+    def test_unpinned_names_are_nk(self, loc_schema):
+        """Figure 4 shows names only where Const pins them (Example 9:
+        'categories City and Country')."""
+        _found, by_name = frozen_by_structure(loc_schema)
+        for name, frozen in by_name.items():
+            expected = expected_frozen_names()[name]
+            for category in frozen.categories:
+                if category in expected or category == "All":
+                    continue
+                assert frozen.name_of(category) == NK, (name, category)
+
+    def test_each_is_a_minimal_homogeneous_instance(self, loc_schema):
+        """Definition 5: materialized frozen dimensions are valid
+        one-member-per-category instances over the schema."""
+        found, _ = frozen_by_structure(loc_schema)
+        for frozen in found:
+            instance = frozen.to_instance(loc_schema)
+            assert instance.is_valid()
+            assert satisfies_all(instance, loc_schema.constraints)
+            for category in frozen.categories:
+                assert len(instance.members(category)) == 1
+
+    def test_root_member_below_everything(self, loc_schema):
+        """Definition 5(c): phi(Store) reaches every other member."""
+        from repro.core import phi
+
+        found, _ = frozen_by_structure(loc_schema)
+        for frozen in found:
+            instance = frozen.to_instance(loc_schema)
+            root = phi("Store")
+            others = set(instance.all_members()) - {root}
+            assert instance.ancestors_of(root) == others
+
+    def test_country_structures_cover_prose(self, loc_schema):
+        """Example 9: Canadian stores via Province, Mexican via State and
+        SaleRegion, US stores via State or straight to Country."""
+        _found, by_name = frozen_by_structure(loc_schema)
+        canada = by_name["Canada"].subhierarchy
+        assert ("City", "Province") in canada.edges
+        mexico = by_name["Mexico"].subhierarchy
+        assert ("State", "SaleRegion") in mexico.edges
+        usa = by_name["USA"].subhierarchy
+        assert ("State", "Country") in usa.edges
+        washington = by_name["USA-Washington"].subhierarchy
+        assert ("City", "Country") in washington.edges

@@ -1,0 +1,65 @@
+"""E4 - Figure 5 / Example 12: SIGMA(locationSch, Store) and the circle
+operator.
+
+The left column of Figure 5 is the whole constraint set (every root is
+reachable from Store); the right column is its reduction over the
+subhierarchy g of Example 12, reproduced here line by line.
+"""
+
+from __future__ import annotations
+
+from repro.constraints import unparse
+from repro.core import circle
+from repro.generators.location import figure5_subhierarchy
+
+
+class TestFigure5Left:
+    def test_sigma_store_is_whole_sigma(self, loc_schema):
+        relevant = loc_schema.relevant_constraints("Store")
+        assert relevant == loc_schema.constraints
+
+    def test_left_column_text(self, loc_schema):
+        rendered = [unparse(node) for node in loc_schema.constraints]
+        assert rendered == [
+            "Store -> City",                                          # (a)
+            "Store.SaleRegion",                                       # (b)
+            "City = 'Washington' iff City -> Country",                # (c)
+            "City = 'Washington' implies City.Country = 'USA'",       # (d)
+            "State.Country = 'Mexico' or State.Country = 'USA'",      # (e)
+            "State.Country = 'Mexico' iff State -> SaleRegion",       # (f)
+            "Province.Country = 'Canada'",                            # (g)
+        ]
+
+
+class TestFigure5Right:
+    def test_right_column_text(self, loc_schema):
+        g = figure5_subhierarchy()
+        reduced = circle(loc_schema.constraints, g)
+        rendered = [unparse(node) for node in reduced]
+        assert rendered == [
+            "true",                                                   # (a)
+            "true",                                                   # (b)
+            "City = 'Washington' iff false",                          # (c)
+            "City = 'Washington' implies City.Country = 'USA'",       # (d)
+            "State.Country = 'Mexico' or State.Country = 'USA'",      # (e)
+            "State.Country = 'Mexico' iff false",                     # (f)
+            "Province.Country = 'Canada'",                            # (g)
+        ]
+
+    def test_reduced_set_mentions_only_equality_atoms(self, loc_schema):
+        from repro.constraints import EqualityAtom
+
+        g = figure5_subhierarchy()
+        for node in circle(loc_schema.constraints, g):
+            for atom in node.atoms():
+                assert isinstance(atom, EqualityAtom)
+
+    def test_example12_subhierarchy_induces_no_frozen_dimension(self, loc_schema):
+        """The g of Example 12 mixes State and Province: constraints (e)/(f)
+        force Country = USA while (g) forces Country = Canada, so CHECK
+        fails - this subhierarchy appears in the Figure 7 search but yields
+        nothing."""
+        from repro.core import induced_frozen_dimensions
+
+        g = figure5_subhierarchy()
+        assert list(induced_frozen_dimensions(loc_schema, "Store", g)) == []

@@ -1,0 +1,89 @@
+"""E5 - Figure 7 / Example 13: the DIMSAT search on locationSch.
+
+The figure shows the successive states of the search variable g until the
+first successful CHECK.  The paper's figure depends on its (unspecified)
+top-category choice order; with our deterministic 'sorted' strategy we
+verify the structural properties the figure illustrates: the search grows
+subhierarchies edge by edge, never builds a cycle or shortcut, always
+honours the into constraint Store -> City, and the first successful CHECK
+returns one of the four Figure 4 structures.
+"""
+
+from __future__ import annotations
+
+from repro.core import ALL, DimsatOptions, Subhierarchy, dimsat
+from repro.generators.location import paper_frozen_structures
+
+
+def traced_run(loc_schema):
+    options = DimsatOptions(keep_trace=True)
+    return dimsat(loc_schema, "Store", options)
+
+
+class TestFigure7Trace:
+    def test_search_starts_from_bare_root(self, loc_schema):
+        result = traced_run(loc_schema)
+        first = result.trace[0]
+        assert first.kind == "expand"
+        assert first.edges == ()
+        assert first.top == ("Store",)
+
+    def test_every_expansion_honours_into_constraint(self, loc_schema):
+        """Lines (14)-(17): every expansion of Store includes City."""
+        result = traced_run(loc_schema)
+        for entry in result.trace:
+            if entry.kind == "expand" and entry.category == "Store" and entry.added:
+                assert "City" in entry.added
+
+    def test_no_intermediate_state_has_cycle_or_shortcut(self, loc_schema):
+        result = traced_run(loc_schema)
+        for entry in result.trace:
+            sub = Subhierarchy(
+                "Store",
+                frozenset(
+                    {c for edge in entry.edges for c in edge} | {"Store"}
+                ),
+                frozenset(entry.edges),
+            )
+            assert sub.is_acyclic()
+            assert sub.shortcut_edges() == frozenset()
+
+    def test_check_called_only_on_complete_subhierarchies(self, loc_schema):
+        result = traced_run(loc_schema)
+        for index, entry in enumerate(result.trace):
+            if entry.kind == "check":
+                previous = result.trace[index - 1]
+                assert previous.top == (ALL,)
+
+    def test_first_success_is_a_figure4_structure(self, loc_schema):
+        result = traced_run(loc_schema)
+        assert result.satisfiable
+        last = result.trace[-1]
+        assert last.kind == "check" and last.succeeded
+        assert result.witness.subhierarchy in set(
+            paper_frozen_structures().values()
+        )
+
+    def test_search_stops_at_first_success(self, loc_schema):
+        result = traced_run(loc_schema)
+        successes = [
+            e for e in result.trace if e.kind == "check" and e.succeeded
+        ]
+        assert len(successes) == 1
+        assert result.trace[-1] is successes[0]
+
+
+class TestFigure7Effort:
+    def test_expand_calls_bounded(self, loc_schema):
+        """The figure shows a handful of states - the pruned search must
+        stay far below the raw subhierarchy space (2^10 edge subsets)."""
+        result = traced_run(loc_schema)
+        assert result.stats.expand_calls <= 20
+
+    def test_exhaustive_search_visits_all_four_structures(self, loc_schema):
+        from repro.core import enumerate_frozen_dimensions
+
+        found = enumerate_frozen_dimensions(loc_schema, "Store")
+        assert {f.subhierarchy for f in found} == set(
+            paper_frozen_structures().values()
+        )

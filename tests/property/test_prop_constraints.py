@@ -1,0 +1,163 @@
+"""Property-based tests of the constraint language.
+
+Invariants:
+
+* parser/printer round trip on arbitrary well-formed constraints;
+* simplify and nnf preserve truth tables and are idempotent/shaped;
+* composed atoms evaluate identically to their path-atom expansions over
+  the paper's instance (the equivalence the circle operator relies on);
+* substituting every atom by its truth value folds to the evaluation.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+
+from repro.constraints import (
+    FALSE,
+    TRUE,
+    Not,
+    PathAtom,
+    evaluate,
+    expand,
+    nnf,
+    parse,
+    satisfies_at,
+    simplify,
+    substitute,
+    unparse,
+    walk,
+)
+from repro.constraints.simplify import constant_substitution
+from repro.generators.location import location_hierarchy, location_instance
+
+from strategies import constraints
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+def truth_assignments(node, limit=64):
+    atom_list = sorted(set(node.atoms()), key=repr)[:6]
+    for bits in itertools.islice(
+        itertools.product((False, True), repeat=len(atom_list)), limit
+    ):
+        yield dict(zip(atom_list, bits))
+
+
+def eval_under(node, assignment):
+    return evaluate(node, lambda atom: assignment.get(atom, False))
+
+
+@SETTINGS
+@given(constraints())
+def test_parse_unparse_round_trip(node):
+    assert parse(unparse(node)) == node
+
+
+@SETTINGS
+@given(constraints())
+def test_simplify_preserves_truth_table(node):
+    folded = simplify(node)
+    for assignment in truth_assignments(node):
+        assert eval_under(node, assignment) == eval_under(folded, assignment)
+
+
+@SETTINGS
+@given(constraints())
+def test_simplify_idempotent(node):
+    once = simplify(node)
+    assert simplify(once) == once
+
+
+@SETTINGS
+@given(constraints())
+def test_nnf_preserves_truth_table(node):
+    normal = nnf(node)
+    for assignment in truth_assignments(node):
+        assert eval_under(node, assignment) == eval_under(normal, assignment)
+
+
+@SETTINGS
+@given(constraints())
+def test_nnf_shape(node):
+    from repro.constraints import And, Or
+    from repro.constraints.ast import Atom, FalseConst, TrueConst
+
+    normal = nnf(node)
+    for sub in walk(normal):
+        assert isinstance(sub, (And, Or, Not, Atom, TrueConst, FalseConst))
+        if isinstance(sub, Not):
+            assert isinstance(sub.child, Atom)
+
+
+@SETTINGS
+@given(constraints())
+def test_full_substitution_folds_to_constant(node):
+    for assignment in itertools.islice(truth_assignments(node), 4):
+        full = {atom: assignment.get(atom, False) for atom in node.atoms()}
+        pinned = simplify(substitute(node, constant_substitution(full)))
+        expected = TRUE if eval_under(node, assignment) else FALSE
+        assert pinned == expected
+
+
+@SETTINGS
+@given(constraints())
+def test_composed_expansion_agrees_on_instance(node):
+    """Over a valid instance, evaluating composed atoms directly equals
+    evaluating their disjunction-of-path-atoms expansion."""
+    hierarchy = location_hierarchy()
+    instance = location_instance()
+    expanded = expand(node, hierarchy)
+    from repro.constraints import constraint_root
+
+    root = constraint_root(node)
+    members = instance.members(root) if root else ["s1"]
+    for member in members:
+        assert satisfies_at(instance, member, node) == satisfies_at(
+            instance, member, expanded
+        )
+
+
+@SETTINGS
+@given(constraints())
+def test_expansion_mentions_only_plain_atoms(node):
+    from repro.constraints import ComparisonAtom, EqualityAtom
+
+    expanded = expand(node, location_hierarchy())
+    for atom in expanded.atoms():
+        assert isinstance(atom, (PathAtom, EqualityAtom, ComparisonAtom))
+
+
+@SETTINGS
+@given(constraints())
+def test_double_negation_equivalent(node):
+    double = Not(Not(node))
+    for assignment in truth_assignments(node):
+        assert eval_under(node, assignment) == eval_under(double, assignment)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    __import__("hypothesis").strategies.text(
+        alphabet="abAB_ ->.=<>!()'one,0123456789",
+        min_size=0,
+        max_size=40,
+    )
+)
+def test_parser_total_over_junk(text):
+    """The parser either returns a node or raises ConstraintSyntaxError -
+    never any other exception type (totality over arbitrary input)."""
+    from repro.errors import ConstraintSyntaxError
+
+    try:
+        node = parse(text)
+    except ConstraintSyntaxError:
+        return
+    except ValueError as error:
+        # Comparison atoms validate their operator/constant via the AST
+        # constructor; the parser must have converted those already.
+        raise AssertionError(f"leaked ValueError for {text!r}: {error}")
+    # Whatever parsed must render and re-parse to itself.
+    assert parse(unparse(node)) == node

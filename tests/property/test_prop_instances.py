@@ -1,0 +1,95 @@
+"""Property-based tests of instance-level machinery.
+
+* Instances stamped out of frozen dimensions always satisfy (C1)-(C7) and
+  the schema's constraints, at any scale;
+* homogenization preserves real members' rollups and yields homogeneous,
+  valid instances on every paddable random input;
+* JSON round trips preserve instance semantics.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import homogenize, is_null_member
+from repro.constraints import satisfies_all
+from repro.core.rollup import reached_categories
+from repro.errors import SchemaError
+from repro.generators.random_schema import RandomSchemaConfig, random_schema
+from repro.generators.workloads import instance_from_frozen
+from repro.io import instance_from_json, instance_to_json
+
+SETTINGS = settings(max_examples=20, deadline=None)
+
+
+@st.composite
+def generated_instances(draw):
+    config = RandomSchemaConfig(
+        n_categories=draw(st.integers(min_value=3, max_value=6)),
+        n_layers=draw(st.integers(min_value=2, max_value=3)),
+        extra_edge_prob=draw(st.sampled_from([0.0, 0.4])),
+        into_fraction=draw(st.sampled_from([0.5, 1.0])),
+        choice_constraint_prob=draw(st.sampled_from([0.0, 0.7])),
+        seed=draw(st.integers(min_value=0, max_value=5_000)),
+    )
+    schema = random_schema(config)
+    bottom = sorted(schema.hierarchy.bottom_categories())[0]
+    copies = draw(st.integers(min_value=1, max_value=3))
+    fan_out = draw(st.integers(min_value=1, max_value=3))
+    try:
+        instance = instance_from_frozen(
+            schema, bottom, copies=copies, fan_out=fan_out
+        )
+    except SchemaError:
+        assume(False)
+    return schema, instance
+
+
+@SETTINGS
+@given(generated_instances())
+def test_generated_instances_conform(pair):
+    schema, instance = pair
+    assert instance.violations() == []
+    assert satisfies_all(instance, schema.constraints)
+
+
+@SETTINGS
+@given(generated_instances())
+def test_json_round_trip_preserves_structure(pair):
+    _schema, instance = pair
+    rebuilt = instance_from_json(instance_to_json(instance))
+    assert len(rebuilt) == len(instance)
+    for category in instance.hierarchy.categories:
+        assert {str(m) for m in instance.members(category)} == {
+            str(m) for m in rebuilt.members(category)
+        }
+
+
+@SETTINGS
+@given(generated_instances())
+def test_homogenize_properties(pair):
+    _schema, instance = pair
+    try:
+        padded = homogenize(instance)
+    except SchemaError:
+        assume(False)  # genuinely unpaddable (published limitation)
+        return
+    assert padded.is_valid()
+    # Homogeneity: one ancestor-category signature per category.
+    for category in padded.hierarchy.categories:
+        signatures = {
+            frozenset(padded.category_of(a) for a in padded.ancestors_of(m))
+            for m in padded.members(category)
+        }
+        assert len(signatures) <= 1, category
+    # Real members keep their original rollup targets.
+    for member in instance.all_members():
+        for category in reached_categories(instance, member):
+            assert padded.ancestor_in(member, category) == instance.ancestor_in(
+                member, category
+            )
+    # Nulls only ever appear above real members, never below base level.
+    for member in padded.all_members():
+        if is_null_member(member):
+            assert padded.children_of(member)

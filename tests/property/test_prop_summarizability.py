@@ -1,0 +1,83 @@
+"""Property-based cross-validation of Theorem 1 against Definition 6.
+
+For random generated instances, random fact tables, and random
+(target, sources) queries: whenever the Theorem 1 constraint holds, the
+Definition 6 recombination must equal the direct cube view, for every
+distributive aggregate.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import is_summarizable_in_instance
+from repro.errors import SchemaError
+from repro.generators.location import location_schema
+from repro.generators.random_schema import RandomSchemaConfig, random_schema
+from repro.generators.workloads import instance_from_frozen, random_fact_table
+from repro.olap import all_aggregates, cube_view, recombine, views_equal
+
+SETTINGS = settings(max_examples=20, deadline=None)
+
+
+@st.composite
+def scenarios(draw):
+    if draw(st.booleans()):
+        schema = location_schema()
+    else:
+        schema = random_schema(
+            RandomSchemaConfig(
+                n_categories=draw(st.integers(min_value=3, max_value=6)),
+                n_layers=draw(st.integers(min_value=2, max_value=3)),
+                extra_edge_prob=draw(st.sampled_from([0.0, 0.4])),
+                into_fraction=draw(st.sampled_from([0.5, 1.0])),
+                seed=draw(st.integers(min_value=0, max_value=3_000)),
+            )
+        )
+    bottom = sorted(schema.hierarchy.bottom_categories())[0]
+    try:
+        instance = instance_from_frozen(schema, bottom, copies=2, fan_out=2)
+    except SchemaError:
+        assume(False)
+    facts = random_fact_table(
+        instance, draw(st.integers(min_value=5, max_value=25)),
+        seed=draw(st.integers(min_value=0, max_value=999)),
+    )
+    categories = sorted(schema.hierarchy.categories - {"All"})
+    target = draw(st.sampled_from(categories))
+    below = sorted(
+        c for c in categories
+        if c != target and schema.hierarchy.reaches(c, target)
+    )
+    assume(below)
+    sources = draw(
+        st.lists(st.sampled_from(below), min_size=1, max_size=2, unique=True)
+    )
+    return instance, facts, target, tuple(sources)
+
+
+@SETTINGS
+@given(scenarios())
+def test_summarizable_implies_recombination_correct(scenario):
+    instance, facts, target, sources = scenario
+    if not is_summarizable_in_instance(instance, target, sources):
+        assume(False)
+    for aggregate in all_aggregates():
+        direct = cube_view(facts, target, aggregate, "amount")
+        views = [cube_view(facts, c, aggregate, "amount") for c in sources]
+        derived = recombine(instance, target, views, aggregate)
+        assert views_equal(direct, derived), aggregate.name
+
+
+@SETTINGS
+@given(scenarios())
+def test_recombination_mismatch_implies_not_summarizable(scenario):
+    """Contrapositive on the sampled fact table: if the recombination is
+    wrong on *this* table, Theorem 1's condition cannot hold."""
+    instance, facts, target, sources = scenario
+    direct = cube_view(facts, target, all_aggregates()[0], "amount")
+    views = [cube_view(facts, c, all_aggregates()[0], "amount") for c in sources]
+    derived = recombine(instance, target, views, all_aggregates()[0])
+    if not views_equal(direct, derived):
+        assert not is_summarizable_in_instance(instance, target, sources)

@@ -1,0 +1,214 @@
+"""CLI tests: every subcommand, exit codes, and error paths."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.generators.location import location_instance, location_schema
+from repro.io import instance_to_dict, schema_to_json
+
+
+@pytest.fixture()
+def schema_file(tmp_path):
+    path = tmp_path / "location.json"
+    path.write_text(schema_to_json(location_schema()))
+    return str(path)
+
+
+@pytest.fixture()
+def instance_file(tmp_path):
+    path = tmp_path / "instance.json"
+    path.write_text(json.dumps(instance_to_dict(location_instance())))
+    return str(path)
+
+
+class TestAudit:
+    def test_clean_schema_exits_zero(self, schema_file, capsys):
+        assert main(["audit", schema_file]) == 0
+        out = capsys.readouterr().out
+        assert "ok   Store" in out
+
+    def test_dead_category_exits_one(self, tmp_path, capsys):
+        schema = location_schema().with_constraints(
+            ["not SaleRegion -> Country"]
+        )
+        path = tmp_path / "broken.json"
+        path.write_text(schema_to_json(schema))
+        assert main(["audit", str(path)]) == 1
+        assert "DEAD" in capsys.readouterr().out
+
+
+class TestImplies:
+    def test_implied(self, schema_file, capsys):
+        assert main(["implies", schema_file, "Store -> City"]) == 0
+        assert "implied" in capsys.readouterr().out
+
+    def test_not_implied_shows_counterexample(self, schema_file, capsys):
+        assert main(["implies", schema_file, "Store.Province.Country"]) == 1
+        out = capsys.readouterr().out
+        assert "not implied" in out
+        assert "counterexample" in out
+
+    def test_bad_constraint_is_an_error(self, schema_file, capsys):
+        assert main(["implies", schema_file, "Store -> "]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSummarizable:
+    def test_yes(self, schema_file, capsys):
+        code = main(["summarizable", schema_file, "Country", "City"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "yes"
+
+    def test_no(self, schema_file, capsys):
+        code = main(
+            ["summarizable", schema_file, "Country", "State", "Province"]
+        )
+        assert code == 1
+        assert capsys.readouterr().out.strip() == "no"
+
+
+class TestFrozen:
+    def test_lists_four(self, schema_file, capsys):
+        assert main(["frozen", schema_file, "Store"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("f") >= 4
+        assert "Country=Canada" in out
+
+    def test_dot_output(self, schema_file, capsys):
+        assert main(["frozen", schema_file, "Store", "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_unsatisfiable_root(self, tmp_path, capsys):
+        schema = location_schema().with_constraints(["not Store -> City"])
+        path = tmp_path / "broken.json"
+        path.write_text(schema_to_json(schema))
+        assert main(["frozen", str(path), "Store"]) == 1
+
+
+class TestValidate:
+    def test_valid_instance(self, schema_file, instance_file, capsys):
+        assert main(["validate", schema_file, instance_file]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_instance_without_hierarchy_uses_schema(
+        self, schema_file, tmp_path, capsys
+    ):
+        document = instance_to_dict(location_instance())
+        del document["hierarchy"]
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps(document))
+        assert main(["validate", schema_file, str(path)]) == 0
+
+    def test_constraint_violation_reported(self, schema_file, tmp_path, capsys):
+        document = instance_to_dict(location_instance())
+        document["edges"] = [
+            edge for edge in document["edges"] if edge != ["s1", "Toronto"]
+        ]
+        document["edges"].append(["s1", "SR-North"])
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps(document))
+        assert main(["validate", schema_file, str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_structural_violation_reported(self, schema_file, tmp_path, capsys):
+        document = instance_to_dict(location_instance())
+        document["edges"] = [
+            edge for edge in document["edges"] if edge[0] != "s1"
+        ]  # s1 loses all parents: (C7)
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps(document))
+        assert main(["validate", schema_file, str(path)]) == 1
+
+
+class TestOther:
+    def test_dot(self, schema_file, capsys):
+        assert main(["dot", schema_file]) == 0
+        assert '"Store" -> "City";' in capsys.readouterr().out
+
+    def test_satisfiable(self, schema_file, capsys):
+        assert main(["satisfiable", schema_file, "Store"]) == 0
+        assert "satisfiable" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["audit", "/nonexistent/schema.json"]) == 2
+
+    def test_module_entry_point(self, schema_file):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "audit", schema_file],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "Store" in proc.stdout
+
+
+class TestExplain:
+    def test_positive(self, schema_file, capsys):
+        assert main(["explain", schema_file, "Country", "City"]) == 0
+        assert "summarizable" in capsys.readouterr().out
+
+    def test_negative_with_evidence(self, schema_file, capsys):
+        code = main(["explain", schema_file, "Country", "State", "Province"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "NOT summarizable" in out
+        assert "LOST" in out
+        assert "Washington" in out
+
+
+class TestShow:
+    def test_schema_tree(self, schema_file, capsys):
+        assert main(["show", schema_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("All")
+        assert "constraints:" in out
+        assert "Store -> City" in out
+
+    def test_schema_and_instance(self, schema_file, instance_file, capsys):
+        assert main(["show", schema_file, instance_file]) == 0
+        out = capsys.readouterr().out
+        assert "all [All]" in out
+        assert "Toronto" in out
+
+
+class TestStats:
+    def test_stats_report(self, schema_file, capsys):
+        assert main(["stats", schema_file]) == 0
+        out = capsys.readouterr().out
+        assert "categories (N):" in out
+        assert "Store: satisfiable" in out
+
+
+class TestNormalize:
+    def test_emits_equivalent_schema(self, tmp_path, capsys):
+        from repro.core.normalize import schemas_equivalent
+        from repro.io import schema_from_json
+
+        doubled = location_schema().with_constraints(["Store -> City"])
+        path = tmp_path / "doubled.json"
+        path.write_text(schema_to_json(doubled))
+        assert main(["normalize", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "dropped (redundant)" in captured.err
+        assert "declared implied into" in captured.err
+        rebuilt = schema_from_json(captured.out)
+        assert schemas_equivalent(rebuilt, doubled)
+
+
+class TestReport:
+    def test_markdown_report(self, schema_file, capsys):
+        assert main(["report", schema_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Dimension schema report")
+        assert "## Safe aggregation" in out
+
+    def test_report_with_explicit_root(self, schema_file, capsys):
+        assert main(["report", schema_file, "--root", "City"]) == 0
+        assert "root: City" in capsys.readouterr().out

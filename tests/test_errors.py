@@ -1,0 +1,92 @@
+"""Exception-hierarchy contract tests.
+
+Callers are promised one catch-all (`ReproError`) and meaningful
+subclasses; these tests pin the hierarchy and the metadata each error
+carries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConstraintError,
+    ConstraintSyntaxError,
+    InstanceError,
+    NavigationError,
+    OlapError,
+    ReproError,
+    SchemaError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            SchemaError,
+            InstanceError,
+            ConstraintSyntaxError,
+            ConstraintError,
+            OlapError,
+            NavigationError,
+        ],
+    )
+    def test_everything_is_a_repro_error(self, subclass):
+        assert issubclass(subclass, ReproError)
+
+    def test_navigation_is_olap(self):
+        assert issubclass(NavigationError, OlapError)
+
+    def test_one_except_clause_catches_all(self):
+        from repro.core import DimensionSchema, HierarchySchema
+
+        with pytest.raises(ReproError):
+            HierarchySchema(["A"], [("A", "B")])
+        with pytest.raises(ReproError):
+            DimensionSchema(
+                HierarchySchema(["A"], [("A", "All")]), ["A -> Ghost"]
+            )
+
+
+class TestMetadata:
+    def test_instance_error_carries_condition(self):
+        error = InstanceError("(C2) partitioning", "member x")
+        assert error.condition == "(C2) partitioning"
+        assert "(C2) partitioning" in str(error)
+
+    def test_syntax_error_carries_position(self):
+        error = ConstraintSyntaxError("boom", "Store ->", 6)
+        assert error.position == 6
+        assert error.text == "Store ->"
+        assert "position 6" in str(error)
+
+    def test_syntax_error_without_position(self):
+        error = ConstraintSyntaxError("boom")
+        assert error.position == -1
+        assert "position" not in str(error)
+
+
+class TestErrorPathsAcrossTheLibrary:
+    def test_parser_raises_only_syntax_errors(self):
+        from repro.constraints import parse
+
+        for text in ("", ")", "a -> ", "1 -> 2", "x = = y", "'dangling",
+                     "one(", "not", "@@", "a . . b"):
+            with pytest.raises(ConstraintSyntaxError):
+                parse(text)
+
+    def test_semantics_raises_constraint_error_on_aliens(self, loc_instance):
+        from repro.constraints import satisfies_at
+
+        with pytest.raises(ConstraintError):
+            satisfies_at(loc_instance, "s1", object())  # type: ignore[arg-type]
+
+    def test_olap_errors_from_engine(self, loc_schema, loc_instance):
+        from repro.olap import OlapEngine
+
+        engine = OlapEngine(loc_schema, loc_instance, [("s1", {"kg": 1.0})])
+        with pytest.raises(OlapError):
+            engine.query("Country", "MEDIAN", "kg")
+        with pytest.raises(OlapError):
+            engine.materialize("Country", "SUM", "missing-measure")
