@@ -5,11 +5,23 @@ Runs full satisfiability audits and mixed implication workloads over the
 realistic schema suite and asserts the wall-clock conjecture (on a modern
 machine the whole suite lands far below one second, which comfortably
 confirms the 2002 claim).
+
+Run directly with ``--quick`` for the CI smoke gate::
+
+    PYTHONPATH=src python benchmarks/bench_suite.py --quick
+
+which times the implication workload before (uncached) and after (warm
+decision cache), writes the numbers to ``BENCH_1.json`` at the repo root,
+and exits non-zero when the cached path regresses the benchmark by more
+than 20%.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import time
+from pathlib import Path
 
 import pytest
 from conftest import print_table
@@ -67,3 +79,105 @@ def test_suite_conjecture_table():
     )
     # The paper's conjecture, with a 2026 machine's margin.
     assert total < 5.0
+
+
+# ----------------------------------------------------------------------
+# CI smoke gate (``python bench_suite.py --quick``)
+# ----------------------------------------------------------------------
+
+
+def _quick_smoke(output_path, repeats=3, n_queries=10):
+    """Before/after timings of the implication benchmark.
+
+    "before" runs every query uncached; "after" runs the same queries
+    against a fresh :class:`~repro.core.decisioncache.DecisionCache` so
+    the first pass pays the misses and the remaining passes measure warm
+    behavior - the configuration the OLAP layers actually run in.
+    Verdicts must agree; the gate fails on a >20% regression.
+    """
+    from repro.core import DecisionCache
+
+    per_schema = {}
+    before_total = after_total = 0.0
+    for name, schema in sorted(SCHEMAS.items()):
+        queries = implication_workload(schema, n_queries=n_queries, seed=1)
+
+        start = time.perf_counter()
+        before_verdicts = []
+        for _ in range(repeats):
+            before_verdicts = [
+                is_implied(schema, q, cache=None) for q in queries
+            ]
+        before = time.perf_counter() - start
+
+        cache = DecisionCache()
+        start = time.perf_counter()
+        after_verdicts = []
+        for _ in range(repeats):
+            after_verdicts = [
+                is_implied(schema, q, cache=cache) for q in queries
+            ]
+        after = time.perf_counter() - start
+
+        if before_verdicts != after_verdicts:
+            raise AssertionError(
+                f"cached verdicts diverge on schema {name!r}"
+            )
+        before_total += before
+        after_total += after
+        per_schema[name] = {
+            "queries": len(queries),
+            "repeats": repeats,
+            "before_s": before,
+            "after_s": after,
+            "speedup": before / after if after else float("inf"),
+            "cache_hit_rate": cache.stats.hit_rate,
+        }
+
+    report = {
+        "benchmark": "implication workload (suite schemas)",
+        "before": "uncached (cache=None)",
+        "after": "shared DecisionCache, warm after first pass",
+        "schemas": per_schema,
+        "total": {
+            "before_s": before_total,
+            "after_s": after_total,
+            "speedup": before_total / after_total if after_total else float("inf"),
+        },
+    }
+    output_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def _main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke-run the implication benchmark cached vs uncached and "
+        "write BENCH_1.json",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_1.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    if not args.quick:
+        parser.error("only --quick mode is supported when run directly")
+    report = _quick_smoke(Path(args.output))
+    total = report["total"]
+    print(
+        f"implication benchmark: before {total['before_s'] * 1000:.1f} ms, "
+        f"after {total['after_s'] * 1000:.1f} ms "
+        f"({total['speedup']:.1f}x), report -> {args.output}"
+    )
+    if total["after_s"] > 1.2 * total["before_s"]:
+        print("FAIL: cached implication benchmark regressed by more than 20%")
+        return 1
+    print("OK: no regression")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

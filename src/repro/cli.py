@@ -225,6 +225,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reason about OLAP dimension schemas with dimension "
         "constraints (Hurtado & Mendelzon, PODS 2002).",
     )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="after the command, print satisfiability-kernel cache "
+        "statistics (decision cache, circle-operator cache, interned "
+        "nodes) to stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     audit = sub.add_parser("audit", help="satisfiability of every category")
@@ -309,6 +316,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if getattr(args, "cache_stats", False):
+            from repro.core.decisioncache import default_decision_cache
+
+            print(default_decision_cache().report(), file=sys.stderr)
 
 
 if __name__ == "__main__":

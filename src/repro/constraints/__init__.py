@@ -30,9 +30,15 @@ from repro.constraints.ast import (
     TrueConst,
     Xor,
     constraint_root,
+    hash_cons,
     walk,
 )
-from repro.constraints.atoms import PathCache, expand, validate_constraint
+from repro.constraints.atoms import (
+    PathCache,
+    expand,
+    shared_path_cache,
+    validate_constraint,
+)
 from repro.constraints.builder import compare, eq, into, name_is, one, path, rollsup, through
 from repro.constraints.parser import parse, parse_many
 from repro.constraints.printer import unparse
@@ -72,6 +78,7 @@ __all__ = [
     "evaluate",
     "expand",
     "failures",
+    "hash_cons",
     "into",
     "name_is",
     "nnf",
@@ -83,6 +90,7 @@ __all__ = [
     "satisfies",
     "satisfies_all",
     "satisfies_at",
+    "shared_path_cache",
     "simplify",
     "substitute",
     "through",

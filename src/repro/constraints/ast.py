@@ -18,12 +18,18 @@ exclusive disjunction, the constants ``TRUE``/``FALSE``, and the paper's
 A").
 
 All nodes are immutable and hashable; structural equality is definitional.
+Structural hashes are computed once per node and cached, and
+:func:`hash_cons` interns nodes so structurally equal expressions become
+the *same* object - the satisfiability kernel keys its memo tables on
+nodes, so repeated reductions of a shared constraint set cost dictionary
+lookups instead of tree walks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+import weakref
+from dataclasses import dataclass, fields
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro._types import Category
 
@@ -372,3 +378,127 @@ def walk(node: Node) -> Iterator[Node]:
     yield node
     for child in node.children():
         yield from walk(child)
+
+
+# ----------------------------------------------------------------------
+# Hash caching and hash-consing
+# ----------------------------------------------------------------------
+#
+# The decision procedures (DIMSAT's circle operator, simplification, the
+# schema-level decision cache) all use constraint nodes as dictionary
+# keys.  The dataclass-generated ``__hash__`` rehashes the whole subtree
+# on every lookup; here every node caches its structural hash after the
+# first computation, and ``__eq__`` gets an identity fast path plus a
+# cached-hash early exit, so interned nodes compare in O(1).
+
+_NODE_CLASSES = (
+    PathAtom,
+    EqualityAtom,
+    ComparisonAtom,
+    RollsUpAtom,
+    ThroughAtom,
+    TrueConst,
+    FalseConst,
+    Not,
+    And,
+    Or,
+    Implies,
+    Iff,
+    Xor,
+    ExactlyOne,
+)
+
+
+def _field_values(node: Node) -> Tuple[object, ...]:
+    """The dataclass field values of a node, in declaration order."""
+    return tuple(getattr(node, f.name) for f in fields(node))
+
+
+def _install_fast_identity(cls: type) -> None:
+    base_hash = cls.__hash__
+    base_eq = cls.__eq__
+
+    def cached_hash(self) -> int:
+        try:
+            return self._hash_cache
+        except AttributeError:
+            value = base_hash(self)
+            object.__setattr__(self, "_hash_cache", value)
+            return value
+
+    def fast_eq(self, other: object):
+        if self is other:
+            return True
+        if self.__class__ is not other.__class__:
+            return NotImplemented
+        if cached_hash(self) != cached_hash(other):
+            return False
+        return base_eq(self, other)
+
+    cls.__hash__ = cached_hash  # type: ignore[assignment]
+    cls.__eq__ = fast_eq  # type: ignore[assignment]
+
+
+for _cls in _NODE_CLASSES:
+    _install_fast_identity(_cls)
+del _cls
+
+
+#: Intern table for :func:`hash_cons`.  Keys are ``(class, *fields)``
+#: tuples; values are the canonical nodes, held weakly so expressions of
+#: discarded schemas can be collected.
+_INTERN_TABLE: "weakref.WeakValueDictionary[Tuple[object, ...], Node]" = (
+    weakref.WeakValueDictionary()
+)
+
+
+def _intern(node: Node) -> Node:
+    key = (node.__class__,) + _field_values(node)
+    canonical = _INTERN_TABLE.get(key)
+    if canonical is not None:
+        return canonical
+    _INTERN_TABLE[key] = node
+    return node
+
+
+def hash_cons(node: Node) -> Node:
+    """Return the canonical representative of ``node``.
+
+    Structurally equal expressions map to the identical object (bottom-up
+    interning), so ``hash_cons(a) is hash_cons(b)`` exactly when
+    ``a == b``.  :class:`~repro.core.schema.DimensionSchema` interns its
+    constraint set at construction, which makes the circle-operator memo
+    and the decision cache hit by object identity.
+    """
+    if isinstance(node, TrueConst):
+        return TRUE
+    if isinstance(node, FalseConst):
+        return FALSE
+    if isinstance(node, Atom):
+        return _intern(node)
+    if isinstance(node, Not):
+        child = hash_cons(node.child)
+        return _intern(node if child is node.child else Not(child))
+    if isinstance(node, (And, Or, ExactlyOne)):
+        operands = tuple(hash_cons(op) for op in node.operands)
+        if all(a is b for a, b in zip(operands, node.operands)):
+            return _intern(node)
+        return _intern(node.__class__(operands))
+    if isinstance(node, Implies):
+        antecedent = hash_cons(node.antecedent)
+        consequent = hash_cons(node.consequent)
+        if antecedent is node.antecedent and consequent is node.consequent:
+            return _intern(node)
+        return _intern(Implies(antecedent, consequent))
+    if isinstance(node, (Iff, Xor)):
+        left = hash_cons(node.left)
+        right = hash_cons(node.right)
+        if left is node.left and right is node.right:
+            return _intern(node)
+        return _intern(node.__class__(left, right))
+    raise TypeError(f"cannot intern node of type {type(node).__name__}")
+
+
+def intern_table_size() -> int:
+    """Number of live interned nodes (diagnostics / cache-stats report)."""
+    return len(_INTERN_TABLE)

@@ -14,6 +14,7 @@ simple paths of the schema.
 
 from __future__ import annotations
 
+import weakref
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.constraints.ast import (
@@ -64,6 +65,30 @@ class PathCache:
             cached = tuple(self.hierarchy.simple_paths(start, end))
             self._paths[key] = cached
         return cached
+
+
+#: One shared :class:`PathCache` per live hierarchy schema.  Implication
+#: and summarizability derive many transient schemas over the *same*
+#: hierarchy (one per tested constraint); routing them all through this
+#: registry means the simple-path enumeration for a hierarchy runs at
+#: most once per category pair, process-wide.
+_SHARED_PATH_CACHES: "weakref.WeakKeyDictionary[HierarchySchema, PathCache]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def shared_path_cache(hierarchy: HierarchySchema) -> PathCache:
+    """The process-wide :class:`PathCache` for ``hierarchy``.
+
+    Hierarchies compare structurally, so equal schema objects share one
+    cache entry; the registry holds its keys weakly and follows the
+    hierarchy's lifetime.
+    """
+    cache = _SHARED_PATH_CACHES.get(hierarchy)
+    if cache is None:
+        cache = PathCache(hierarchy)
+        _SHARED_PATH_CACHES[hierarchy] = cache
+    return cache
 
 
 def expand_rolls_up(
@@ -117,7 +142,7 @@ def expand(node: Node, hierarchy: HierarchySchema, cache: Optional[PathCache] = 
     (the disjunction semantics of composed atoms coincides with rollup
     reachability in valid instances; see DESIGN.md and the property tests).
     """
-    cache = cache or PathCache(hierarchy)
+    cache = cache or shared_path_cache(hierarchy)
 
     def rewrite(n: Node) -> Node:
         if isinstance(n, RollsUpAtom):

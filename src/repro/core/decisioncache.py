@@ -1,0 +1,276 @@
+"""A schema-fingerprinted decision cache for the satisfiability kernel.
+
+Every schema-level decision in the system - category satisfiability
+(DIMSAT), constraint implication (Theorem 2), and schema-level
+summarizability (Theorem 1) - is a pure function of the dimension schema
+``(G, SIGMA)`` and the query.  The OLAP layers above ask the *same*
+questions over and over: the aggregate navigator re-proves rewritings per
+query, greedy view selection re-evaluates candidate sets, and maintenance
+re-audits after every batch.  :class:`DecisionCache` memoizes those
+verdicts keyed by a canonical schema fingerprint
+(:meth:`~repro.core.schema.DimensionSchema.fingerprint`), so:
+
+* repeated decisions over the same schema are dictionary lookups;
+* cached verdicts survive schema *reconstruction* (fact-table reloads,
+  JSON round trips) because equal schemas share a fingerprint;
+* schema *edits* can never serve stale verdicts because an edited schema
+  has a different fingerprint - and the maintenance layer
+  (:mod:`repro.olap.maintenance`) additionally evicts the replaced
+  version's entries on every mutation.
+
+The cache is shared by :mod:`repro.core.implication`,
+:mod:`repro.core.summarizability`, :mod:`repro.olap.navigator`,
+:mod:`repro.olap.viewselect`, and :mod:`repro.olap.maintenance`; pass
+``cache=None`` to any of their entry points to force the uncached path
+(the ablation the decision-cache benchmark measures).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict, astuple, dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, Optional, Tuple
+
+from repro._types import Category
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.dimsat import DimsatOptions, DimsatResult
+    from repro.core.implication import ImplicationResult
+    from repro.core.schema import DimensionSchema
+
+
+#: Sentinel distinguishing "use the process-wide default cache" (the
+#: argument default everywhere) from an explicit ``None`` (uncached).
+USE_DEFAULT_CACHE: Any = object()
+
+
+def _options_key(options: "Optional[DimsatOptions]") -> Tuple[object, ...]:
+    """A hashable key covering every DIMSAT tuning knob.
+
+    The pruning flags never change verdicts, but ``max_expansions`` can
+    turn an answer into a budget exception and ``keep_trace`` changes the
+    result payload, so the full option tuple participates in the key -
+    correctness first, sharing second.
+    """
+    if options is None:
+        return ()
+    return astuple(options)
+
+
+@dataclass
+class DecisionCacheStats:
+    """Cumulative counters for one :class:`DecisionCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        data = asdict(self)
+        data["hit_rate"] = self.hit_rate
+        return data
+
+
+class DecisionCache:
+    """Memoized schema-level verdicts, keyed by schema fingerprint.
+
+    Entries are ``(fingerprint, kind, query..., options) -> result``.
+    Results are immutable (booleans, :class:`DimsatResult`,
+    :class:`ImplicationResult`) and decisions are deterministic, so a
+    cached result is indistinguishable from a fresh computation - the
+    decision-cache benchmark asserts exactly that across every DIMSAT
+    ablation configuration.
+
+    The cache is safe to share across threads (a lock guards the table)
+    and bounded (FIFO eviction at ``max_entries``).
+    """
+
+    def __init__(self, max_entries: int = 100_000) -> None:
+        self.max_entries = max_entries
+        self.stats = DecisionCacheStats()
+        self._lock = threading.Lock()
+        self._data: Dict[Tuple[object, ...], object] = {}
+
+    # ------------------------------------------------------------------
+    # Generic memoization
+    # ------------------------------------------------------------------
+
+    def memoize(
+        self,
+        schema: "DimensionSchema",
+        key: Tuple[object, ...],
+        compute: Callable[[], object],
+    ) -> object:
+        """Return the cached value for ``(schema.fingerprint(),) + key``,
+        computing and storing it on a miss."""
+        full_key = (schema.fingerprint(),) + key
+        with self._lock:
+            if full_key in self._data:
+                self.stats.hits += 1
+                return self._data[full_key]
+        value = compute()
+        with self._lock:
+            self.stats.misses += 1
+            if full_key not in self._data:
+                if len(self._data) >= self.max_entries:
+                    self._data.pop(next(iter(self._data)))
+                    self.stats.evictions += 1
+                self._data[full_key] = value
+        return value
+
+    # ------------------------------------------------------------------
+    # The three decision procedures
+    # ------------------------------------------------------------------
+
+    def dimsat(
+        self,
+        schema: "DimensionSchema",
+        category: Category,
+        options: "Optional[DimsatOptions]" = None,
+    ) -> "DimsatResult":
+        """Memoized :func:`repro.core.dimsat.dimsat`."""
+        from repro.core.dimsat import dimsat as run_dimsat
+
+        key = ("dimsat", category, _options_key(options))
+        return self.memoize(  # type: ignore[return-value]
+            schema, key, lambda: run_dimsat(schema, category, options)
+        )
+
+    def implies(
+        self,
+        schema: "DimensionSchema",
+        constraint: object,
+        options: "Optional[DimsatOptions]" = None,
+    ) -> "ImplicationResult":
+        """Memoized :func:`repro.core.implication.implies`."""
+        from repro.constraints.printer import unparse
+        from repro.core.implication import implies as run_implies
+
+        node = _as_node(constraint)
+        key = ("implies", unparse(node), _options_key(options))
+        return self.memoize(  # type: ignore[return-value]
+            schema, key, lambda: run_implies(schema, node, options, cache=None)
+        )
+
+    def is_implied(
+        self,
+        schema: "DimensionSchema",
+        constraint: object,
+        options: "Optional[DimsatOptions]" = None,
+    ) -> bool:
+        """Memoized implication verdict."""
+        return self.implies(schema, constraint, options).implied
+
+    def is_summarizable(
+        self,
+        schema: "DimensionSchema",
+        target: Category,
+        sources: Iterable[Category],
+        options: "Optional[DimsatOptions]" = None,
+    ) -> bool:
+        """Memoized schema-level summarizability (Theorem 1)."""
+        from repro.core.summarizability import _is_summarizable_uncached
+
+        source_key = tuple(sorted(set(sources)))
+        key = ("summarizable", target, source_key, _options_key(options))
+        return self.memoize(  # type: ignore[return-value]
+            schema,
+            key,
+            # The per-bottom implication tests inside the Theorem 1 loop
+            # still go through *this* cache, so different source sets
+            # share whatever implication work overlaps.
+            lambda: _is_summarizable_uncached(
+                schema, target, source_key, options, self
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Invalidation and introspection
+    # ------------------------------------------------------------------
+
+    def invalidate(self, schema_or_fingerprint: object) -> int:
+        """Evict every verdict cached for one schema version.
+
+        Accepts a :class:`DimensionSchema` or a raw fingerprint string.
+        Correctness never depends on calling this - an edited schema has a
+        new fingerprint - but the maintenance layer calls it on every
+        schema mutation so replaced versions stop occupying cache space.
+        Returns the number of entries dropped.
+        """
+        fingerprint = (
+            schema_or_fingerprint
+            if isinstance(schema_or_fingerprint, str)
+            else schema_or_fingerprint.fingerprint()  # type: ignore[union-attr]
+        )
+        with self._lock:
+            doomed = [k for k in self._data if k[0] == fingerprint]
+            for k in doomed:
+                del self._data[k]
+            self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._data.clear()
+            self.stats = DecisionCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def report(self) -> str:
+        """A human-readable stats block (the CLI's ``--cache-stats``)."""
+        from repro.constraints.ast import intern_table_size
+        from repro.core.dimsat import circle_cache
+
+        circ = circle_cache()
+        lines = [
+            "decision cache:",
+            f"  entries        {len(self)}",
+            f"  hits           {self.stats.hits}",
+            f"  misses         {self.stats.misses}",
+            f"  hit rate       {self.stats.hit_rate:.1%}",
+            f"  evictions      {self.stats.evictions}",
+            f"  invalidations  {self.stats.invalidations}",
+            "circle-operator cache:",
+            f"  entries        {len(circ)}",
+            f"  hits           {circ.hits}",
+            f"  misses         {circ.misses}",
+            f"  hit rate       {circ.hit_rate:.1%}",
+            "interned constraint nodes:",
+            f"  live           {intern_table_size()}",
+        ]
+        return "\n".join(lines)
+
+
+def _as_node(constraint: object):
+    from repro.constraints.ast import Node
+    from repro.constraints.parser import parse
+
+    return parse(constraint) if isinstance(constraint, str) else constraint
+
+
+_DEFAULT_CACHE = DecisionCache()
+
+
+def default_decision_cache() -> DecisionCache:
+    """The process-wide decision cache every entry point defaults to."""
+    return _DEFAULT_CACHE
+
+
+def resolve_cache(cache: object) -> Optional[DecisionCache]:
+    """Map an entry point's ``cache`` argument to a concrete cache.
+
+    ``USE_DEFAULT_CACHE`` (the argument default) resolves to the global
+    cache; ``None`` disables caching; anything else must be a
+    :class:`DecisionCache` and is used as given.
+    """
+    if cache is USE_DEFAULT_CACHE:
+        return _DEFAULT_CACHE
+    return cache  # type: ignore[return-value]

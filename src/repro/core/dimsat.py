@@ -95,6 +95,10 @@ class DimsatOptions:
     #: Abort after this many EXPAND calls (None = unbounded); the search
     #: raises :class:`SearchBudgetExceeded` when the budget runs out.
     max_expansions: Optional[int] = None
+    #: Memoize circle-operator reductions in the process-wide
+    #: :class:`CircleCache`.  Never changes the answer, only the work done
+    #: (the cache ablation of ``bench_decision_cache``).
+    circle_cache: bool = True
 
 
 @dataclass
@@ -107,6 +111,15 @@ class DimsatStats:
     subhierarchies_completed: int = 0
     into_pruned_branches: int = 0
     dead_ends: int = 0
+    #: Circle-operator reductions answered by the memo / computed fresh.
+    circle_hits: int = 0
+    circle_misses: int = 0
+
+    @property
+    def circle_hit_rate(self) -> float:
+        """Fraction of circle-operator reductions served from the memo."""
+        total = self.circle_hits + self.circle_misses
+        return self.circle_hits / total if total else 0.0
 
 
 @dataclass(frozen=True)
@@ -209,23 +222,99 @@ def circle(constraints: Iterable[Node], sub: Subhierarchy) -> List[Node]:
     return [circle_node(node, sub) for node in constraints]
 
 
+class CircleCache:
+    """Process-wide memo for circle-operator reductions.
+
+    Keyed by ``(constraint node, subhierarchy)``: EXPAND enumerates the
+    same complete subhierarchies for every DIMSAT run over a hierarchy,
+    and derived schemas share interned constraint nodes, so repeated
+    decisions (implication batteries, summarizability sweeps, the
+    navigator's rewrite search) reduce each constraint against each
+    subhierarchy exactly once process-wide.  Bounded FIFO eviction keeps
+    long-lived services at a fixed memory ceiling.
+    """
+
+    __slots__ = ("max_entries", "hits", "misses", "_data")
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._data: Dict[Tuple[Node, Subhierarchy], Node] = {}
+
+    def reduce(
+        self,
+        node: Node,
+        sub: Subhierarchy,
+        stats: Optional[DimsatStats] = None,
+    ) -> Node:
+        """``simplify(circle_node(node, sub))``, memoized."""
+        key = (node, sub)
+        cached = self._data.get(key)
+        if cached is not None:
+            self.hits += 1
+            if stats is not None:
+                stats.circle_hits += 1
+            return cached
+        self.misses += 1
+        if stats is not None:
+            stats.circle_misses += 1
+        folded = simplify(circle_node(node, sub))
+        if len(self._data) >= self.max_entries:
+            self._data.pop(next(iter(self._data)))
+        self._data[key] = folded
+        return folded
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_CIRCLE_CACHE = CircleCache()
+
+
+def circle_cache() -> CircleCache:
+    """The process-wide circle-operator memo."""
+    return _CIRCLE_CACHE
+
+
 def reduced_constraints(
-    schema: DimensionSchema, category: Category, sub: Subhierarchy
+    schema: DimensionSchema,
+    category: Category,
+    sub: Subhierarchy,
+    stats: Optional[DimsatStats] = None,
+    cache: Optional[CircleCache] = None,
 ) -> Optional[List[Node]]:
     """The reduced constraint set CHECK evaluates for a subhierarchy.
 
     Constraints from ``SIGMA(ds, category)`` whose root is not populated by
     the subhierarchy are vacuously true and dropped; the rest go through
-    the circle operator and constant folding.  Returns ``None`` as soon as
-    some constraint reduces to ``FALSE`` (no c-assignment can help), else
-    the list of residual constraints (each mentioning only equality atoms).
+    the circle operator and constant folding (memoized in ``cache`` when
+    given).  Returns ``None`` as soon as some constraint reduces to
+    ``FALSE`` (no c-assignment can help), else the list of residual
+    constraints (each mentioning only equality atoms).
     """
     residual: List[Node] = []
     for node in schema.relevant_constraints(category):
         root = constraint_root(node)
         if root is not None and root not in sub.categories:
             continue
-        folded = simplify(circle_node(node, sub))
+        if cache is not None:
+            folded = cache.reduce(node, sub, stats)
+        else:
+            folded = simplify(circle_node(node, sub))
+            if stats is not None:
+                stats.circle_misses += 1
         if folded is FALSE or folded == FALSE:
             return None
         if folded is TRUE or folded == TRUE:
@@ -292,6 +381,7 @@ def induced_frozen_dimensions(
     sub: Subhierarchy,
     stats: Optional[DimsatStats] = None,
     require_structure: bool = False,
+    cache: Optional[CircleCache] = None,
 ) -> Iterator[FrozenDimension]:
     """All frozen dimensions a subhierarchy induces (Proposition 2).
 
@@ -306,7 +396,7 @@ def induced_frozen_dimensions(
     if require_structure:
         if not sub.is_acyclic() or sub.shortcut_edges():
             return
-    residual = reduced_constraints(schema, category, sub)
+    residual = reduced_constraints(schema, category, sub, stats, cache)
     if residual is None:
         return
     for assignment in satisfying_assignments(schema, residual, stats):
@@ -425,6 +515,7 @@ class _Search:
         self.options = options
         self.stats = DimsatStats()
         self.trace: List[TraceEntry] = []
+        self.circle_cache = _CIRCLE_CACHE if options.circle_cache else None
 
     def _record(
         self,
@@ -487,6 +578,7 @@ class _Search:
                 sub,
                 stats=self.stats,
                 require_structure=need_structure,
+                cache=self.circle_cache,
             ):
                 produced = True
                 self._record("check", state, None, (), succeeded=True)

@@ -51,7 +51,14 @@ class HierarchySchema:
     True
     """
 
-    __slots__ = ("_categories", "_edges", "_children", "_parents", "_reach")
+    __slots__ = (
+        "_categories",
+        "_edges",
+        "_children",
+        "_parents",
+        "_reach",
+        "__weakref__",
+    )
 
     def __init__(self, categories: Iterable[Category], edges: Iterable[Edge]) -> None:
         cats = set(categories)
@@ -266,6 +273,37 @@ class HierarchySchema:
     def with_edges(self, extra: Iterable[Edge]) -> "HierarchySchema":
         """A new schema with additional edges."""
         return HierarchySchema(self._categories, self._edges | set(extra))
+
+    def without_edge(self, child: Category, parent: Category) -> "HierarchySchema":
+        """A new schema with the edge ``child -> parent`` removed.
+
+        Raises :class:`SchemaError` when the edge does not exist or its
+        removal strands a category from ``All`` (Definition 1a).
+        """
+        if (child, parent) not in self._edges:
+            raise SchemaError(f"edge ({child!r}, {parent!r}) is not in the schema")
+        return HierarchySchema(self._categories, self._edges - {(child, parent)})
+
+    def with_category(
+        self,
+        category: Category,
+        parents: Iterable[Category] = (),
+        children: Iterable[Category] = (),
+    ) -> "HierarchySchema":
+        """A new schema with ``category`` added.
+
+        ``parents``/``children`` name the incident edges; with no parents
+        the category is linked directly to ``All`` so Definition 1a keeps
+        holding.
+        """
+        if category in self._categories:
+            raise SchemaError(f"category {category!r} is already in the schema")
+        parent_list = list(parents) or [ALL]
+        extra = {(category, p) for p in parent_list}
+        extra |= {(c, category) for c in children}
+        return HierarchySchema(
+            self._categories | {category}, self._edges | extra
+        )
 
     def without_category(self, category: Category) -> "HierarchySchema":
         """A new schema with ``category`` and its incident edges removed.

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.constraints.ast import Node, Not, constraint_root
 from repro.constraints.atoms import validate_constraint
 from repro.constraints.parser import parse
+from repro.core.decisioncache import USE_DEFAULT_CACHE, DecisionCache, resolve_cache
 from repro.core.dimsat import DimsatOptions, DimsatResult, dimsat
 from repro.core.frozen import FrozenDimension
 from repro.core.hierarchy import ALL, Category
@@ -59,8 +60,17 @@ def is_category_satisfiable(
     schema: DimensionSchema,
     category: Category,
     options: Optional[DimsatOptions] = None,
+    cache: object = USE_DEFAULT_CACHE,
 ) -> bool:
-    """Category satisfiability (Section 4), decided by DIMSAT."""
+    """Category satisfiability (Section 4), decided by DIMSAT.
+
+    ``cache`` is a :class:`~repro.core.decisioncache.DecisionCache`
+    memoizing the verdict by schema fingerprint; pass ``None`` to force a
+    fresh search.
+    """
+    resolved = resolve_cache(cache)
+    if resolved is not None:
+        return resolved.dimsat(schema, category, options).satisfiable
     return dimsat(schema, category, options).satisfiable
 
 
@@ -68,6 +78,7 @@ def implies(
     schema: DimensionSchema,
     constraint: object,
     options: Optional[DimsatOptions] = None,
+    cache: object = USE_DEFAULT_CACHE,
 ) -> ImplicationResult:
     """Decide ``ds |= alpha`` via Theorem 2.
 
@@ -76,11 +87,20 @@ def implies(
     needs at least one atom to carry a root, so plain ``true``/``false``
     are rejected as well.
 
+    Results are memoized in ``cache`` (default: the process-wide
+    :func:`~repro.core.decisioncache.default_decision_cache`) keyed by the
+    schema fingerprint and the constraint's canonical text; implication is
+    deterministic, so a cached result is bit-identical to a fresh one.
+    Pass ``cache=None`` for the uncached path.
+
     >>> from repro.generators.location import location_schema
     >>> implies(location_schema(), "Store.City.Country").implied
     True
     """
     node: Node = parse(constraint) if isinstance(constraint, str) else constraint  # type: ignore[assignment]
+    resolved = resolve_cache(cache)
+    if resolved is not None:
+        return resolved.implies(schema, node, options)
     root = validate_constraint(schema.hierarchy, node)
     if root == ALL:  # pragma: no cover - validate_constraint already rejects
         raise ConstraintError("constraints rooted at All are not allowed")
@@ -98,9 +118,10 @@ def is_implied(
     schema: DimensionSchema,
     constraint: object,
     options: Optional[DimsatOptions] = None,
+    cache: object = USE_DEFAULT_CACHE,
 ) -> bool:
     """Shorthand for ``implies(...).implied``."""
-    return implies(schema, constraint, options).implied
+    return implies(schema, constraint, options, cache).implied
 
 
 def equivalent(
@@ -108,6 +129,7 @@ def equivalent(
     left: object,
     right: object,
     options: Optional[DimsatOptions] = None,
+    cache: object = USE_DEFAULT_CACHE,
 ) -> bool:
     """Whether two constraints are equivalent over every instance of the
     schema (mutual implication)."""
@@ -116,11 +138,13 @@ def equivalent(
     from repro.constraints.ast import Iff
 
     both = Iff(left_node, right_node)
-    return is_implied(schema, both, options)
+    return is_implied(schema, both, options, cache)
 
 
 def unsatisfiable_categories(
-    schema: DimensionSchema, options: Optional[DimsatOptions] = None
+    schema: DimensionSchema,
+    options: Optional[DimsatOptions] = None,
+    cache: object = USE_DEFAULT_CACHE,
 ) -> List[Category]:
     """Categories no instance of the schema can populate (Example 11).
 
@@ -132,13 +156,15 @@ def unsatisfiable_categories(
     for category in sorted(schema.hierarchy.categories):
         if category == ALL:
             continue
-        if not is_category_satisfiable(schema, category, options):
+        if not is_category_satisfiable(schema, category, options, cache):
             bad.append(category)
     return bad
 
 
 def prune_unsatisfiable(
-    schema: DimensionSchema, options: Optional[DimsatOptions] = None
+    schema: DimensionSchema,
+    options: Optional[DimsatOptions] = None,
+    cache: object = USE_DEFAULT_CACHE,
 ) -> Tuple[DimensionSchema, List[Category]]:
     """Drop unsatisfiable categories from the schema.
 
@@ -149,7 +175,7 @@ def prune_unsatisfiable(
 
     Returns the cleaned schema and the dropped categories.
     """
-    dropped = unsatisfiable_categories(schema, options)
+    dropped = unsatisfiable_categories(schema, options, cache)
     if not dropped:
         return schema, []
     hierarchy = schema.hierarchy
@@ -176,14 +202,16 @@ def prune_unsatisfiable(
 
 
 def satisfiability_report(
-    schema: DimensionSchema, options: Optional[DimsatOptions] = None
+    schema: DimensionSchema,
+    options: Optional[DimsatOptions] = None,
+    cache: object = USE_DEFAULT_CACHE,
 ) -> Dict[Category, bool]:
     """Satisfiability verdict for every category of the schema."""
     return {
         category: (
             True
             if category == ALL
-            else is_category_satisfiable(schema, category, options)
+            else is_category_satisfiable(schema, category, options, cache)
         )
         for category in sorted(schema.hierarchy.categories)
     }

@@ -13,11 +13,18 @@ artifacts the algorithm needs:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
-from repro.constraints.ast import ComparisonAtom, EqualityAtom, Node, PathAtom
+from repro.constraints.ast import (
+    ComparisonAtom,
+    EqualityAtom,
+    Node,
+    PathAtom,
+    hash_cons,
+)
 from repro.errors import ConstraintError
-from repro.constraints.atoms import PathCache, validate_constraint
+from repro.constraints.atoms import PathCache, shared_path_cache, validate_constraint
 from repro.constraints.parser import parse
 from repro.core.hierarchy import Category, HierarchySchema
 
@@ -54,12 +61,15 @@ class DimensionSchema:
         "_const_map",
         "_thresholds",
         "_path_cache",
+        "_fingerprint",
+        "__weakref__",
     )
 
     def __init__(
         self,
         hierarchy: HierarchySchema,
         constraints: Iterable[object] = (),
+        path_cache: Optional[PathCache] = None,
     ) -> None:
         self.hierarchy = hierarchy
         parsed: List[Node] = []
@@ -67,14 +77,22 @@ class DimensionSchema:
         for entry in constraints:
             node = parse(entry) if isinstance(entry, str) else entry
             root = validate_constraint(hierarchy, node)  # type: ignore[arg-type]
-            parsed.append(node)  # type: ignore[arg-type]
+            # Intern every constraint: schemas derived from one another
+            # (implication extends SIGMA per query) then share node
+            # objects, and the satisfiability kernel's memo tables hit by
+            # identity.
+            parsed.append(hash_cons(node))  # type: ignore[arg-type]
             roots.append(root)
         self._constraints: Tuple[Node, ...] = tuple(parsed)
         self._roots: Tuple[Category, ...] = tuple(roots)
         self._const_map = self._compute_const_map()
         self._thresholds = self._compute_thresholds()
         self._check_numeric_consistency()
-        self._path_cache = PathCache(hierarchy)
+        if path_cache is not None and path_cache.hierarchy == hierarchy:
+            self._path_cache = path_cache
+        else:
+            self._path_cache = shared_path_cache(hierarchy)
+        self._fingerprint: Optional[str] = None
 
     def _compute_const_map(self) -> Dict[Category, FrozenSet[str]]:
         found: Dict[Category, set] = {c: set() for c in self.hierarchy.categories}
@@ -203,8 +221,44 @@ class DimensionSchema:
     # ------------------------------------------------------------------
 
     def with_constraints(self, extra: Iterable[object]) -> "DimensionSchema":
-        """A new schema with additional constraints."""
-        return DimensionSchema(self.hierarchy, list(self._constraints) + list(extra))
+        """A new schema with additional constraints.
+
+        The simple-path cache is shared with this schema (the hierarchy is
+        unchanged), so constraint-by-constraint derivation - the implication
+        tester's hot loop - never re-enumerates paths.
+        """
+        return DimensionSchema(
+            self.hierarchy,
+            list(self._constraints) + list(extra),
+            path_cache=self._path_cache,
+        )
+
+    def fingerprint(self) -> str:
+        """A canonical fingerprint of ``(G, SIGMA)``.
+
+        Hashes the sorted category set, the sorted edge set, and the
+        sorted multiset of constraints in their canonical textual form, so
+        two structurally equal schemas - even built independently - share
+        a fingerprint.  The schema-level decision cache
+        (:mod:`repro.core.decisioncache`) keys every verdict on it, which
+        makes cached decisions survive schema reconstruction (fact-table
+        reloads, JSON round trips) and never survive schema *edits*.
+        """
+        if self._fingerprint is None:
+            from repro.constraints.printer import unparse
+
+            digest = hashlib.sha256()
+            digest.update("\x1d".join(sorted(self.hierarchy.categories)).encode())
+            digest.update(b"\x1e")
+            digest.update(
+                "\x1d".join(f"{a}\x1f{b}" for a, b in sorted(self.hierarchy.edges)).encode()
+            )
+            digest.update(b"\x1e")
+            digest.update(
+                "\x1d".join(sorted(unparse(node) for node in self._constraints)).encode()
+            )
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def size(self) -> int:
         """``N_SIGMA``: total node count across the constraint set, a

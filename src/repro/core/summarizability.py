@@ -30,6 +30,7 @@ from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.constraints.ast import FALSE, ExactlyOne, Implies, Node, RollsUpAtom, ThroughAtom
 from repro.constraints.semantics import satisfies
+from repro.core.decisioncache import USE_DEFAULT_CACHE, resolve_cache
 from repro.core.dimsat import DimsatOptions
 from repro.core.hierarchy import ALL, Category, HierarchySchema
 from repro.core.implication import is_implied
@@ -97,20 +98,42 @@ def is_summarizable_in_schema(
     target: Category,
     sources: Iterable[Category],
     options: Optional[DimsatOptions] = None,
+    cache: object = USE_DEFAULT_CACHE,
 ) -> bool:
     """Theorem 1 at the schema level: the constraint must be *implied*.
 
     True exactly when ``target`` is summarizable from ``sources`` in every
     instance of the schema, which is the test an aggregate navigator needs
     before trusting a rewriting for all future data.
+
+    The verdict is memoized in ``cache`` (a
+    :class:`~repro.core.decisioncache.DecisionCache`; default the
+    process-wide one) keyed by schema fingerprint, target, and source set;
+    pass ``cache=None`` for the uncached path.
     """
+    sources = tuple(sources)
     _check_categories(schema.hierarchy, target, sources)
+    resolved = resolve_cache(cache)
+    if resolved is not None:
+        return resolved.is_summarizable(schema, target, sources, options)
+    return _is_summarizable_uncached(schema, target, sources, options, None)
+
+
+def _is_summarizable_uncached(
+    schema: DimensionSchema,
+    target: Category,
+    sources: Iterable[Category],
+    options: Optional[DimsatOptions],
+    implication_cache: object,
+) -> bool:
+    """The Theorem 1 loop itself; per-bottom implication tests go through
+    ``implication_cache`` so overlapping source sets share work."""
     for bottom, node in summarizability_constraints(
         schema.hierarchy, target, sources
     ):
         if bottom == ALL:
             continue
-        if not is_implied(schema, node, options):
+        if not is_implied(schema, node, options, cache=implication_cache):
             return False
     return True
 
@@ -129,6 +152,7 @@ def summarizable_sets(
     candidates: Optional[Iterable[Category]] = None,
     max_size: int = 3,
     options: Optional[DimsatOptions] = None,
+    cache: object = USE_DEFAULT_CACHE,
 ) -> List[FrozenSet[Category]]:
     """Minimal source sets from which ``target`` is schema-summarizable.
 
@@ -155,7 +179,7 @@ def summarizable_sets(
             combo_set = frozenset(combo)
             if any(known <= combo_set for known in found):
                 continue
-            if is_summarizable_in_schema(schema, target, combo_set, options):
+            if is_summarizable_in_schema(schema, target, combo_set, options, cache):
                 found.append(combo_set)
     return found
 

@@ -15,7 +15,7 @@ from repro.olap.aggregates import (
 from repro.olap.cubeview import CubeView, cube_view, recombine, views_equal
 from repro.olap.engine import OlapEngine
 from repro.olap.facttable import Fact, FactTable
-from repro.olap.maintenance import MaintainedNavigator, apply_delta
+from repro.olap.maintenance import MaintainedNavigator, SchemaEditor, apply_delta
 from repro.olap.multidim import (
     Cube,
     MultiCubeView,
@@ -54,6 +54,7 @@ __all__ = [
     "OlapEngine",
     "QueryPlan",
     "SUM",
+    "SchemaEditor",
     "Selection",
     "ViewSelectionProblem",
     "all_aggregates",

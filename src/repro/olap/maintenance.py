@@ -1,4 +1,4 @@
-"""Incremental maintenance of materialized cube views.
+"""Incremental maintenance of materialized cube views and schemas.
 
 Distributivity (the paper's footnote 1) is exactly the property that
 makes materialized aggregate views maintainable under fact *appends*: the
@@ -15,15 +15,30 @@ module adds that capability on top of the navigator:
 Deletions are *not* supported for SUM/COUNT/MIN/MAX - inverting MIN/MAX
 needs the full history - which mirrors real OLAP engines' append-only
 aggregate logs.
+
+The module also owns *schema* maintenance: :class:`SchemaEditor` applies
+the mutations a dimension administrator performs over time - adding and
+dropping edges, categories, and constraints - producing a fresh immutable
+:class:`~repro.core.schema.DimensionSchema` per edit and evicting the
+replaced version's verdicts from the shared
+:class:`~repro.core.decisioncache.DecisionCache`.  Correctness never
+rests on the eviction (an edited schema has a new fingerprint, so stale
+verdicts are unreachable); the hooks keep dead versions from occupying
+cache space across long edit sessions.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro._types import Category, Member
+from repro.constraints.ast import Node
+from repro.constraints.parser import parse
+from repro.constraints.printer import unparse
+from repro.core.decisioncache import USE_DEFAULT_CACHE, resolve_cache
 from repro.core.instance import DimensionInstance
-from repro.errors import OlapError
+from repro.core.schema import DimensionSchema
+from repro.errors import OlapError, SchemaError
 from repro.olap.aggregates import AggregateFunction
 from repro.olap.cubeview import CubeView, cube_view
 from repro.olap.facttable import FactTable
@@ -61,6 +76,122 @@ def apply_delta(
     )
 
 
+def _mentioned_categories(node: Node) -> Set[Category]:
+    """Every category an atom of ``node`` refers to."""
+    mentioned: Set[Category] = set()
+    for atom in node.atoms():
+        mentioned.add(atom.root)
+        for attribute in ("category", "target", "via"):
+            value = getattr(atom, attribute, None)
+            if value is not None:
+                mentioned.add(value)
+        if hasattr(atom, "path"):
+            mentioned.update(atom.path)
+    return mentioned
+
+
+class SchemaEditor:
+    """Applies schema mutations with decision-cache hygiene.
+
+    Each operation derives a new immutable schema from the current one,
+    evicts the replaced version's entries from the decision cache, and
+    makes the new version current.  ``editor.schema`` always holds the
+    latest version; every operation also returns it, so one-off edits can
+    stay expression-shaped.
+
+    An edit that would leave an existing constraint invalid (e.g. dropping
+    an edge a path atom rides on) raises and leaves the current schema
+    untouched - except :meth:`drop_category`, which removes the doomed
+    category's constraints along with it, mirroring
+    :func:`~repro.core.implication.prune_unsatisfiable`.
+    """
+
+    def __init__(
+        self, schema: DimensionSchema, cache: object = USE_DEFAULT_CACHE
+    ) -> None:
+        self.schema = schema
+        self._cache = resolve_cache(cache)
+        #: Fingerprints of every version this editor produced, newest last.
+        self.history: List[str] = [schema.fingerprint()]
+
+    def _commit(self, new_schema: DimensionSchema) -> DimensionSchema:
+        replaced = self.schema
+        self.schema = new_schema
+        self.history.append(new_schema.fingerprint())
+        if self._cache is not None and replaced.fingerprint() != new_schema.fingerprint():
+            self._cache.invalidate(replaced)
+        return new_schema
+
+    # ------------------------------------------------------------------
+    # Hierarchy edits
+    # ------------------------------------------------------------------
+
+    def add_edge(self, child: Category, parent: Category) -> DimensionSchema:
+        """Add the edge ``child -> parent`` to the hierarchy."""
+        hierarchy = self.schema.hierarchy
+        if (child, parent) in hierarchy.edges:
+            raise SchemaError(f"edge {child!r} -> {parent!r} already exists")
+        return self._commit(
+            DimensionSchema(
+                hierarchy.with_edges([(child, parent)]), self.schema.constraints
+            )
+        )
+
+    def drop_edge(self, child: Category, parent: Category) -> DimensionSchema:
+        """Remove the edge ``child -> parent`` from the hierarchy."""
+        return self._commit(
+            DimensionSchema(
+                self.schema.hierarchy.without_edge(child, parent),
+                self.schema.constraints,
+            )
+        )
+
+    def add_category(
+        self,
+        category: Category,
+        parents: Iterable[Category] = (),
+        children: Iterable[Category] = (),
+    ) -> DimensionSchema:
+        """Add a category (default parent: ``All``, per Definition 1a)."""
+        return self._commit(
+            DimensionSchema(
+                self.schema.hierarchy.with_category(category, parents, children),
+                self.schema.constraints,
+            )
+        )
+
+    def drop_category(self, category: Category) -> DimensionSchema:
+        """Remove a category, its incident edges, and every constraint
+        mentioning it."""
+        hierarchy = self.schema.hierarchy.without_category(category)
+        kept = [
+            node
+            for node in self.schema.constraints
+            if category not in _mentioned_categories(node)
+        ]
+        return self._commit(DimensionSchema(hierarchy, kept))
+
+    # ------------------------------------------------------------------
+    # Constraint edits
+    # ------------------------------------------------------------------
+
+    def add_constraint(self, constraint: object) -> DimensionSchema:
+        """Append one constraint to SIGMA (AST node or textual syntax)."""
+        return self._commit(self.schema.with_constraints([constraint]))
+
+    def drop_constraint(self, constraint: object) -> DimensionSchema:
+        """Remove one constraint from SIGMA, matched by canonical text.
+
+        Raises :class:`SchemaError` when no constraint matches.
+        """
+        node = parse(constraint) if isinstance(constraint, str) else constraint
+        doomed = unparse(node)  # type: ignore[arg-type]
+        kept = [n for n in self.schema.constraints if unparse(n) != doomed]
+        if len(kept) == len(self.schema.constraints):
+            raise SchemaError(f"no constraint matches {doomed!r}")
+        return self._commit(DimensionSchema(self.schema.hierarchy, kept))
+
+
 class MaintainedNavigator(AggregateNavigator):
     """An aggregate navigator whose views track fact appends.
 
@@ -68,6 +199,12 @@ class MaintainedNavigator(AggregateNavigator):
     view with the delta - each view pays O(|delta|) instead of a full
     rebuild.  Query answering is inherited unchanged, so rewrites keep
     their correctness guarantees over the grown data.
+
+    Constraint maintenance rides along: :meth:`add_constraint` and
+    :meth:`drop_constraint` swap in an edited schema (via
+    :class:`SchemaEditor`, so the decision cache is invalidated) and flush
+    the navigator's own verdict memo - rewritings proven under the old
+    SIGMA are re-proven under the new one.
     """
 
     def append(
@@ -85,3 +222,32 @@ class MaintainedNavigator(AggregateNavigator):
         for key, view in list(self._views.items()):
             self._views[key] = apply_delta(self.instance, view, delta)
         return len(delta)
+
+    # ------------------------------------------------------------------
+    # Schema maintenance
+    # ------------------------------------------------------------------
+
+    def _swap_schema(self, new_schema: DimensionSchema) -> None:
+        self.schema = new_schema
+        # Fingerprint keying already makes old verdicts unreachable; the
+        # flush keeps the per-navigator memo from accumulating dead
+        # versions over a long maintenance session.
+        self._summarizable_cache.clear()
+        self._proven_sources.clear()
+
+    def add_constraint(self, constraint: object) -> DimensionSchema:
+        """Extend SIGMA; future rewrites are proven under the new schema."""
+        if self.schema is None:
+            raise OlapError("navigator has no schema to edit")
+        editor = SchemaEditor(self.schema, self.cache)
+        self._swap_schema(editor.add_constraint(constraint))
+        return self.schema
+
+    def drop_constraint(self, constraint: object) -> DimensionSchema:
+        """Retract a constraint of SIGMA; rewrites its proof licensed are
+        re-examined on the next query."""
+        if self.schema is None:
+            raise OlapError("navigator has no schema to edit")
+        editor = SchemaEditor(self.schema, self.cache)
+        self._swap_schema(editor.drop_constraint(constraint))
+        return self.schema

@@ -28,6 +28,7 @@ from itertools import combinations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro._types import Category
+from repro.core.decisioncache import USE_DEFAULT_CACHE
 from repro.core.instance import DimensionInstance
 from repro.core.schema import DimensionSchema
 from repro.core.summarizability import (
@@ -65,6 +66,7 @@ class NavigatorStats:
     base_scans: int = 0
     rows_read: int = 0
     summarizability_checks: int = 0
+    supersets_skipped: int = 0
 
 
 class AggregateNavigator:
@@ -83,6 +85,10 @@ class AggregateNavigator:
     rewrites_only:
         When true, a query with no correct rewriting raises
         :class:`NavigationError` instead of scanning the base table.
+    cache:
+        A :class:`~repro.core.decisioncache.DecisionCache` for schema-level
+        summarizability verdicts (default: the process-wide one); pass
+        ``None`` to disable it.
     """
 
     def __init__(
@@ -91,17 +97,34 @@ class AggregateNavigator:
         schema: Optional[DimensionSchema] = None,
         max_rewrite_sources: int = 3,
         rewrites_only: bool = False,
+        cache: object = USE_DEFAULT_CACHE,
     ) -> None:
         self.facts = facts
         self.instance: DimensionInstance = facts.instance
         self.schema = schema
         self.max_rewrite_sources = max_rewrite_sources
         self.rewrites_only = rewrites_only
+        self.cache = cache
         self.stats = NavigatorStats()
         self._views: Dict[Tuple[Category, str, str], CubeView] = {}
+        # Verdicts are keyed by a *context* - the schema fingerprint for
+        # schema-level checks, an instance-identity marker otherwise - so
+        # schema-level entries survive fact-table reloads while
+        # instance-level entries die with the instance they judged.
         self._summarizable_cache: Dict[
-            Tuple[Category, FrozenSet[Category]], bool
+            Tuple[object, Category, FrozenSet[Category]], bool
         ] = {}
+        # Source sets proven summarizable per target, for the superset
+        # short-circuit in the rewriting search.
+        self._proven_sources: Dict[
+            Tuple[object, Category], List[FrozenSet[Category]]
+        ] = {}
+
+    def _verdict_context(self) -> object:
+        """The cache context current verdicts belong to."""
+        if self.schema is not None:
+            return self.schema.fingerprint()
+        return ("instance", id(self.instance))
 
     # ------------------------------------------------------------------
     # Materialization
@@ -129,6 +152,32 @@ class AggregateNavigator:
     def drop(self, category: Category, aggregate: AggregateFunction, measure: str) -> None:
         """Discard a materialized view (no-op when absent)."""
         self._views.pop((category, aggregate.name, measure), None)
+
+    def reload_facts(self, facts: FactTable) -> None:
+        """Swap in a new fact table (e.g. a nightly reload) and rebuild
+        every materialized view over it.
+
+        Schema-level summarizability verdicts are keyed by schema
+        fingerprint, so they survive the reload even when the new fact
+        table carries a *rebuilt* (structurally equal) instance;
+        instance-level verdicts are dropped with the instance that
+        produced them.
+        """
+        if facts.instance.hierarchy != self.instance.hierarchy:
+            raise OlapError("reloaded facts belong to a different dimension")
+        old_context = ("instance", id(self.instance))
+        self.facts = facts
+        self.instance = facts.instance
+        for key in [k for k in self._summarizable_cache if k[0] == old_context]:
+            del self._summarizable_cache[key]
+        for proven_key in [k for k in self._proven_sources if k[0] == old_context]:
+            del self._proven_sources[proven_key]
+        for category, agg_name, measure in list(self._views):
+            view_key = (category, agg_name, measure)
+            aggregate = self._views[view_key].aggregate
+            self._views[view_key] = cube_view(
+                self.facts, category, aggregate, measure
+            )
 
     # ------------------------------------------------------------------
     # Query answering
@@ -174,16 +223,21 @@ class AggregateNavigator:
     # ------------------------------------------------------------------
 
     def _is_summarizable(self, target: Category, sources: FrozenSet[Category]) -> bool:
-        key = (target, sources)
+        context = self._verdict_context()
+        key = (context, target, sources)
         cached = self._summarizable_cache.get(key)
         if cached is not None:
             return cached
         self.stats.summarizability_checks += 1
         if self.schema is not None:
-            verdict = is_summarizable_in_schema(self.schema, target, sources)
+            verdict = is_summarizable_in_schema(
+                self.schema, target, sources, cache=self.cache
+            )
         else:
             verdict = is_summarizable_in_instance(self.instance, target, sources)
         self._summarizable_cache[key] = verdict
+        if verdict:
+            self._proven_sources.setdefault((context, target), []).append(sources)
         return verdict
 
     def _find_rewriting(
@@ -194,12 +248,28 @@ class AggregateNavigator:
         Candidate source sets are subsets of the materialized categories
         below the target, tried in order of increasing total view size so
         the first hit is also the cheapest under the row-count model.
+
+        Strict supersets of an already-proven source set are skipped
+        without a summarizability check: when the proven subset is itself
+        available, its plan reads no more rows and sorts no later in the
+        candidate order, so the superset's plan is never the answer.  This
+        is plan-redundancy pruning, not verdict inference - summarizability
+        is not monotone under adding sources, so a superset's *verdict*
+        cannot be inferred and is simply never needed here.
         """
         available = [
             category
             for category in self.materialized_categories(aggregate, measure)
             if category != target
             and self.instance.hierarchy.reaches(category, target)
+        ]
+        available_set = frozenset(available)
+        proven = [
+            sources
+            for sources in self._proven_sources.get(
+                (self._verdict_context(), target), []
+            )
+            if sources <= available_set
         ]
         candidates: List[Tuple[int, Tuple[Category, ...]]] = []
         for size in range(1, min(self.max_rewrite_sources, len(available)) + 1):
@@ -210,7 +280,11 @@ class AggregateNavigator:
                 candidates.append((total, combo))
         candidates.sort()
         for _total, combo in candidates:
-            if self._is_summarizable(target, frozenset(combo)):
+            combo_set = frozenset(combo)
+            if any(subset < combo_set for subset in proven):
+                self.stats.supersets_skipped += 1
+                continue
+            if self._is_summarizable(target, combo_set):
                 views = [self._views[(c, aggregate.name, measure)] for c in combo]
                 return combo, views
         return None

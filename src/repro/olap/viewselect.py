@@ -29,6 +29,7 @@ from itertools import combinations
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro._types import ALL, Category
+from repro.core.decisioncache import USE_DEFAULT_CACHE
 from repro.core.dimsat import DimsatOptions
 from repro.core.schema import DimensionSchema
 from repro.core.summarizability import is_summarizable_in_schema
@@ -88,11 +89,25 @@ class Selection:
 
 
 class _SummarizabilityCache:
-    """Memoized schema-level summarizability over one problem."""
+    """Memoized schema-level summarizability over one problem.
 
-    def __init__(self, schema: DimensionSchema, options: Optional[DimsatOptions]):
+    A thin lock-free layer over the shared
+    :class:`~repro.core.decisioncache.DecisionCache`: the local dict
+    avoids fingerprint hashing inside the selection loops, while the
+    decision cache makes verdicts carry over between problems (the greedy
+    re-evaluates the same ``(target, sources)`` pairs for every candidate
+    it trials).
+    """
+
+    def __init__(
+        self,
+        schema: DimensionSchema,
+        options: Optional[DimsatOptions],
+        cache: object = USE_DEFAULT_CACHE,
+    ):
         self.schema = schema
         self.options = options
+        self.cache = cache
         self._cache: Dict[Tuple[Category, FrozenSet[Category]], bool] = {}
 
     def check(self, target: Category, sources: FrozenSet[Category]) -> bool:
@@ -100,7 +115,7 @@ class _SummarizabilityCache:
         cached = self._cache.get(key)
         if cached is None:
             cached = is_summarizable_in_schema(
-                self.schema, target, sources, self.options
+                self.schema, target, sources, self.options, self.cache
             )
             self._cache[key] = cached
         return cached
@@ -139,10 +154,11 @@ def evaluate_selection(
     problem: ViewSelectionProblem,
     selected: Iterable[Category],
     options: Optional[DimsatOptions] = None,
+    cache: object = USE_DEFAULT_CACHE,
 ) -> Selection:
     """Storage and weighted query cost of a concrete view set."""
     chosen = frozenset(selected)
-    cache = _SummarizabilityCache(problem.schema, options)
+    cache = _SummarizabilityCache(problem.schema, options, cache)
     answerable: Dict[Category, Tuple[Category, ...]] = {}
     total = 0.0
     for target, weight in problem.targets.items():
@@ -161,9 +177,10 @@ def coverage(
     problem: ViewSelectionProblem,
     selected: Iterable[Category],
     options: Optional[DimsatOptions] = None,
+    cache: object = USE_DEFAULT_CACHE,
 ) -> Dict[Category, bool]:
     """Per-target verdict: answerable from the views without a base scan."""
-    evaluation = evaluate_selection(problem, selected, options)
+    evaluation = evaluate_selection(problem, selected, options, cache)
     return {
         target: bool(plan) for target, plan in evaluation.answerable.items()
     }
@@ -173,15 +190,17 @@ def is_sufficient(
     problem: ViewSelectionProblem,
     selected: Iterable[Category],
     options: Optional[DimsatOptions] = None,
+    cache: object = USE_DEFAULT_CACHE,
 ) -> bool:
     """Section 6's test: do the selected views suffice for all targets?"""
-    return all(coverage(problem, selected, options).values())
+    return all(coverage(problem, selected, options, cache).values())
 
 
 def greedy_select(
     problem: ViewSelectionProblem,
     storage_budget: int,
     options: Optional[DimsatOptions] = None,
+    cache: object = USE_DEFAULT_CACHE,
 ) -> Selection:
     """Benefit-per-cell greedy selection under a storage budget.
 
@@ -190,7 +209,7 @@ def greedy_select(
     reduction per stored cell, while it fits the budget and helps.
     """
     chosen: FrozenSet[Category] = frozenset()
-    current = evaluate_selection(problem, chosen, options)
+    current = evaluate_selection(problem, chosen, options, cache)
     while True:
         best_gain = 0.0
         best_candidate: Optional[Category] = None
@@ -201,7 +220,7 @@ def greedy_select(
             size = problem.size_of(candidate)
             if current.storage + size > storage_budget:
                 continue
-            trial = evaluate_selection(problem, chosen | {candidate}, options)
+            trial = evaluate_selection(problem, chosen | {candidate}, options, cache)
             gain = (current.query_cost - trial.query_cost) / max(1, size)
             if gain > best_gain:
                 best_gain = gain
@@ -217,6 +236,7 @@ def exhaustive_select(
     problem: ViewSelectionProblem,
     storage_budget: int,
     options: Optional[DimsatOptions] = None,
+    cache: object = USE_DEFAULT_CACHE,
 ) -> Selection:
     """Optimal selection by subset enumeration (small candidate sets).
 
@@ -235,7 +255,7 @@ def exhaustive_select(
             storage = sum(problem.size_of(c) for c in combo)
             if storage > storage_budget:
                 continue
-            trial = evaluate_selection(problem, combo, options)
+            trial = evaluate_selection(problem, combo, options, cache)
             key = (trial.query_cost, trial.storage, tuple(sorted(trial.categories)))
             if best is None or key < (
                 best.query_cost,

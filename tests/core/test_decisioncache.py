@@ -1,0 +1,166 @@
+"""Schema fingerprints and the decision cache: keying, hits, equivalence
+with the uncached paths, invalidation, and eviction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DecisionCache,
+    DimensionSchema,
+    DimsatOptions,
+    HierarchySchema,
+    USE_DEFAULT_CACHE,
+    default_decision_cache,
+    implies,
+    is_category_satisfiable,
+    is_implied,
+    is_summarizable_in_schema,
+)
+from repro.core.decisioncache import resolve_cache
+from repro.generators.location import location_schema
+
+
+@pytest.fixture()
+def cache() -> DecisionCache:
+    return DecisionCache()
+
+
+class TestFingerprint:
+    def test_rebuilt_schema_shares_fingerprint(self):
+        assert location_schema().fingerprint() == location_schema().fingerprint()
+
+    def test_constraint_order_does_not_matter(self, loc_hierarchy):
+        a = DimensionSchema(loc_hierarchy, ["Store -> City", "City -> Country"])
+        b = DimensionSchema(loc_hierarchy, ["City -> Country", "Store -> City"])
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_extra_constraint_changes_fingerprint(self, loc_schema):
+        extended = loc_schema.with_constraints(["Store -> SaleRegion"])
+        assert extended.fingerprint() != loc_schema.fingerprint()
+
+    def test_hierarchy_edit_changes_fingerprint(self, loc_hierarchy):
+        a = DimensionSchema(loc_hierarchy)
+        b = DimensionSchema(loc_hierarchy.without_edge("Store", "SaleRegion"))
+        c = DimensionSchema(loc_hierarchy.with_category("Annex"))
+        assert len({a.fingerprint(), b.fingerprint(), c.fingerprint()}) == 3
+
+
+class TestResolution:
+    def test_sentinel_resolves_to_process_cache(self):
+        assert resolve_cache(USE_DEFAULT_CACHE) is default_decision_cache()
+
+    def test_none_disables(self):
+        assert resolve_cache(None) is None
+
+    def test_explicit_cache_passes_through(self, cache):
+        assert resolve_cache(cache) is cache
+
+
+class TestMemoization:
+    def test_satisfiability_hits_on_repeat(self, loc_schema, cache):
+        first = is_category_satisfiable(loc_schema, "Store", cache=cache)
+        assert cache.stats.misses >= 1 and cache.stats.hits == 0
+        second = is_category_satisfiable(loc_schema, "Store", cache=cache)
+        assert first is second is True
+        assert cache.stats.hits == 1
+
+    def test_implication_matches_uncached(self, loc_schema, cache):
+        for text in ["Store -> City", "Store -> SaleRegion", "City.Country"]:
+            assert is_implied(loc_schema, text, cache=cache) == is_implied(
+                loc_schema, text, cache=None
+            )
+
+    def test_cached_result_object_is_reused(self, loc_schema, cache):
+        first = implies(loc_schema, "Store -> City", cache=cache)
+        second = implies(loc_schema, "Store -> City", cache=cache)
+        assert first is second
+        assert first.implied
+
+    def test_summarizability_matches_uncached(self, loc_schema, cache):
+        for target, sources in [
+            ("Country", ("City",)),
+            ("Country", ("State", "Province")),
+            ("Country", ("SaleRegion",)),
+        ]:
+            cached = is_summarizable_in_schema(
+                loc_schema, target, sources, cache=cache
+            )
+            assert cached == is_summarizable_in_schema(
+                loc_schema, target, sources, cache=None
+            )
+
+    def test_source_order_shares_the_entry(self, loc_schema, cache):
+        is_summarizable_in_schema(
+            loc_schema, "Country", ("State", "Province"), cache=cache
+        )
+        hits = cache.stats.hits
+        is_summarizable_in_schema(
+            loc_schema, "Country", ("Province", "State"), cache=cache
+        )
+        assert cache.stats.hits > hits
+
+    def test_verdicts_survive_schema_reconstruction(self, cache):
+        assert is_implied(location_schema(), "Store -> City", cache=cache)
+        misses = cache.stats.misses
+        assert is_implied(location_schema(), "Store -> City", cache=cache)
+        assert cache.stats.misses == misses  # rebuilt schema, same entry
+
+    def test_options_participate_in_the_key(self, loc_schema, cache):
+        default = implies(loc_schema, "Store -> City", cache=cache)
+        ablated = implies(
+            loc_schema,
+            "Store -> City",
+            DimsatOptions(into_pruning=False),
+            cache=cache,
+        )
+        assert default.implied == ablated.implied
+        assert cache.stats.misses == 2  # distinct entries per option set
+
+
+class TestInvalidation:
+    def test_invalidate_drops_only_that_schema(self, loc_schema, cache):
+        other = loc_schema.with_constraints(["Store -> SaleRegion"])
+        is_implied(loc_schema, "Store -> City", cache=cache)
+        is_implied(other, "Store -> City", cache=cache)
+        entries = len(cache)
+        dropped = cache.invalidate(loc_schema)
+        assert dropped >= 1
+        assert len(cache) == entries - dropped
+        assert cache.stats.invalidations == dropped
+        # the other schema's verdict is still a hit
+        hits = cache.stats.hits
+        is_implied(other, "Store -> City", cache=cache)
+        assert cache.stats.hits == hits + 1
+
+    def test_invalidate_accepts_raw_fingerprint(self, loc_schema, cache):
+        is_category_satisfiable(loc_schema, "Store", cache=cache)
+        assert cache.invalidate(loc_schema.fingerprint()) >= 1
+
+    def test_clear_resets_everything(self, loc_schema, cache):
+        is_category_satisfiable(loc_schema, "Store", cache=cache)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses == 0
+
+
+class TestEviction:
+    def test_fifo_eviction_is_bounded(self, loc_schema):
+        small = DecisionCache(max_entries=2)
+        for category in ["Store", "City", "State", "Province"]:
+            is_category_satisfiable(loc_schema, category, cache=small)
+        assert len(small) == 2
+        assert small.stats.evictions == 2
+
+
+class TestReport:
+    def test_report_mentions_every_layer(self, loc_schema, cache):
+        is_category_satisfiable(loc_schema, "Store", cache=cache)
+        text = cache.report()
+        assert "decision cache:" in text
+        assert "circle-operator cache:" in text
+        assert "interned constraint nodes:" in text
+        assert "hit rate" in text
+        stats = cache.stats.as_dict()
+        assert stats["misses"] >= 1
+        assert 0.0 <= stats["hit_rate"] <= 1.0

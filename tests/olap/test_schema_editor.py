@@ -1,0 +1,195 @@
+"""Schema maintenance: every edit op must re-key the decision cache so no
+stale verdict survives an add/drop of an edge, category, or constraint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DecisionCache,
+    DimensionSchema,
+    DimensionInstance,
+    HierarchySchema,
+    is_implied,
+    is_summarizable_in_schema,
+)
+from repro.errors import OlapError, SchemaError
+from repro.olap import SUM, FactTable, MaintainedNavigator, SchemaEditor
+
+
+@pytest.fixture()
+def cache() -> DecisionCache:
+    return DecisionCache()
+
+
+@pytest.fixture()
+def hierarchy() -> HierarchySchema:
+    """Base -> {A, C} -> T -> All: two routes to the target."""
+    return HierarchySchema(
+        ["Base", "A", "C", "T"],
+        [("Base", "A"), ("Base", "C"), ("A", "T"), ("C", "T"), ("T", "All")],
+    )
+
+
+@pytest.fixture()
+def schema(hierarchy) -> DimensionSchema:
+    return DimensionSchema(hierarchy, ["Base -> C", "C -> T"])
+
+
+class TestConstraintEdits:
+    def test_add_constraint_verdict_is_fresh(self, hierarchy, cache):
+        editor = SchemaEditor(DimensionSchema(hierarchy, []), cache)
+        assert not is_implied(editor.schema, "Base -> C", cache=cache)
+        edited = editor.add_constraint("Base -> C")
+        assert is_implied(edited, "Base -> C", cache=cache)
+        assert cache.stats.invalidations >= 1
+
+    def test_drop_constraint_verdict_is_fresh(self, schema, cache):
+        editor = SchemaEditor(schema, cache)
+        assert is_implied(editor.schema, "Base -> C", cache=cache)
+        edited = editor.drop_constraint("Base -> C")
+        assert not is_implied(edited, "Base -> C", cache=cache)
+
+    def test_drop_constraint_accepts_ast_and_text(self, schema, cache):
+        editor = SchemaEditor(schema, cache)
+        editor.drop_constraint(schema.constraints[0])
+        assert len(editor.schema.constraints) == 1
+
+    def test_drop_unknown_constraint_raises(self, schema, cache):
+        editor = SchemaEditor(schema, cache)
+        with pytest.raises(SchemaError):
+            editor.drop_constraint("Base -> A")
+        assert editor.schema is schema  # untouched
+
+
+class TestHierarchyEdits:
+    def test_drop_edge_verdict_is_fresh(self, schema, cache):
+        editor = SchemaEditor(schema, cache)
+        assert is_summarizable_in_schema(editor.schema, "T", ("C",), cache=cache)
+        # A loses its child edge and becomes a bottom that reaches T
+        # outside {C}, so the verdict must flip.
+        edited = editor.drop_edge("Base", "A")
+        assert not is_summarizable_in_schema(edited, "T", ("C",), cache=cache)
+
+    def test_add_edge_verdict_is_fresh(self, hierarchy, cache):
+        start = DimensionSchema(
+            hierarchy.without_edge("Base", "A"), ["Base -> C", "C -> T"]
+        )
+        editor = SchemaEditor(start, cache)
+        assert not is_summarizable_in_schema(editor.schema, "T", ("C",), cache=cache)
+        edited = editor.add_edge("Base", "A")
+        assert is_summarizable_in_schema(edited, "T", ("C",), cache=cache)
+
+    def test_add_existing_edge_raises(self, schema, cache):
+        with pytest.raises(SchemaError):
+            SchemaEditor(schema, cache).add_edge("Base", "A")
+
+    def test_add_category_verdict_is_fresh(self, schema, cache):
+        editor = SchemaEditor(schema, cache)
+        assert is_summarizable_in_schema(editor.schema, "T", ("C",), cache=cache)
+        # Z is a new bottom category under T, reaching it outside {C}.
+        edited = editor.add_category("Z", parents=["T"])
+        assert not is_summarizable_in_schema(edited, "T", ("C",), cache=cache)
+
+    def test_drop_category_verdict_is_fresh(self, schema, cache):
+        editor = SchemaEditor(schema, cache)
+        editor.add_category("Z", parents=["T"])
+        assert not is_summarizable_in_schema(editor.schema, "T", ("C",), cache=cache)
+        edited = editor.drop_category("Z")
+        assert is_summarizable_in_schema(edited, "T", ("C",), cache=cache)
+
+    def test_drop_category_removes_its_constraints(self, hierarchy, cache):
+        editor = SchemaEditor(
+            DimensionSchema(hierarchy, ["Base -> A", "A -> T", "Base -> C"]),
+            cache,
+        )
+        edited = editor.drop_category("A")
+        assert "A" not in edited.hierarchy.categories
+        assert len(edited.constraints) == 1  # only Base -> C survives
+
+
+class TestCacheHygiene:
+    OPS = {
+        "add_edge": lambda e: e.add_edge("Base", "A"),
+        "drop_edge": lambda e: e.drop_edge("Base", "A"),
+        "add_category": lambda e: e.add_category("Z", parents=["T"]),
+        "drop_category": lambda e: e.drop_category("A"),
+        "add_constraint": lambda e: e.add_constraint("Base -> A"),
+        "drop_constraint": lambda e: e.drop_constraint("C -> T"),
+    }
+
+    @pytest.mark.parametrize("op", sorted(OPS))
+    def test_every_op_rekeys_and_evicts(self, hierarchy, cache, op):
+        base = (
+            DimensionSchema(hierarchy.without_edge("Base", "A"), ["C -> T"])
+            if op == "add_edge"
+            else DimensionSchema(hierarchy, ["C -> T"])
+        )
+        editor = SchemaEditor(base, cache)
+        is_implied(base, "C -> T", cache=cache)  # warm one verdict
+        assert len(cache) >= 1
+        edited = self.OPS[op](editor)
+        assert edited.fingerprint() != base.fingerprint()
+        assert editor.history == [base.fingerprint(), edited.fingerprint()]
+        assert len(cache) == 0  # old version's entries evicted
+        assert cache.stats.invalidations >= 1
+
+    def test_editor_without_cache_still_edits(self, schema):
+        editor = SchemaEditor(schema, cache=None)
+        edited = editor.add_constraint("Base -> A")
+        assert len(edited.constraints) == 3
+
+
+class TestMaintainedNavigatorEdits:
+    @pytest.fixture()
+    def navigator(self, hierarchy, cache):
+        instance = DimensionInstance(
+            hierarchy,
+            members={
+                "b1": "Base",
+                "b2": "Base",
+                "a1": "A",
+                "c1": "C",
+                "c2": "C",
+                "t1": "T",
+            },
+            child_parent=[
+                ("b1", "c1"),
+                ("b2", "c2"),
+                ("a1", "t1"),
+                ("c1", "t1"),
+                ("c2", "t1"),
+            ],
+        )
+        facts = FactTable(instance, [("b1", {"x": 1.0}), ("b2", {"x": 2.0})])
+        nav = MaintainedNavigator(
+            facts, schema=DimensionSchema(hierarchy, []), cache=cache
+        )
+        nav.materialize("C", SUM, "x")
+        return nav
+
+    def test_add_constraint_enables_a_rewriting(self, navigator):
+        _view, before = navigator.answer("T", SUM, "x")
+        assert before.kind == "base-scan"
+        navigator.add_constraint("Base -> C")
+        view, after = navigator.answer("T", SUM, "x")
+        assert after.kind == "rewritten"
+        assert after.sources == ("C",)
+        assert view.cells == {"t1": 3.0}
+
+    def test_drop_constraint_revokes_the_proof(self, navigator):
+        navigator.add_constraint("Base -> C")
+        _view, plan = navigator.answer("T", SUM, "x")
+        assert plan.kind == "rewritten"
+        navigator.drop_constraint("Base -> C")
+        _view, after = navigator.answer("T", SUM, "x")
+        assert after.kind == "base-scan"
+        assert not navigator._summarizable_cache or all(
+            key[0] == navigator.schema.fingerprint()
+            for key in navigator._summarizable_cache
+        )
+
+    def test_edit_without_schema_raises(self, navigator):
+        navigator.schema = None
+        with pytest.raises(OlapError):
+            navigator.add_constraint("Base -> C")

@@ -212,3 +212,23 @@ class TestReport:
     def test_report_with_explicit_root(self, schema_file, capsys):
         assert main(["report", schema_file, "--root", "City"]) == 0
         assert "root: City" in capsys.readouterr().out
+
+
+class TestCacheStats:
+    def test_stats_printed_to_stderr_after_command(self, schema_file, capsys):
+        assert main(["--cache-stats", "implies", schema_file, "Store -> City"]) == 0
+        captured = capsys.readouterr()
+        assert "implied" in captured.out
+        assert "decision cache:" in captured.err
+        assert "circle-operator cache:" in captured.err
+        assert "hit rate" in captured.err
+
+    def test_flag_off_prints_nothing_extra(self, schema_file, capsys):
+        assert main(["implies", schema_file, "Store -> City"]) == 0
+        assert "decision cache:" not in capsys.readouterr().err
+
+    def test_stats_printed_even_on_errors(self, schema_file, capsys):
+        assert main(["--cache-stats", "implies", schema_file, "Store -> "]) == 2
+        captured = capsys.readouterr()
+        assert "error" in captured.err
+        assert "decision cache:" in captured.err
