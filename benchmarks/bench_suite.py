@@ -14,6 +14,13 @@ which times the implication workload before (uncached) and after (warm
 decision cache), writes the numbers to ``BENCH_1.json`` at the repo root,
 and exits non-zero when the cached path regresses the benchmark by more
 than 20%.
+
+The same smoke run also measures the
+:class:`~repro.core.parallel.ParallelDecisionEngine` batch path on a
+random-schema workload with repeated queries (the navigator's traffic
+shape): per-request sequential kernel vs one ``decide_many`` batch at 4
+workers.  Verdicts must be byte-identical; the numbers go to
+``BENCH_2.json`` and the gate fails below a 2x speedup.
 """
 
 from __future__ import annotations
@@ -27,10 +34,54 @@ import pytest
 from conftest import print_table
 
 from repro.core import is_implied, satisfiability_report
+from repro.core.decisioncache import DecisionCache
+from repro.core.parallel import ParallelDecisionEngine
+from repro.core.summarizability import is_summarizable_in_schema
+from repro.generators.random_schema import RandomSchemaConfig, schemas_by_size
 from repro.generators.suite import suite_schemas
-from repro.generators.workloads import implication_workload
+from repro.generators.workloads import implication_workload, summarizability_workload
 
 SCHEMAS = suite_schemas()
+
+#: Random schemas for the parallel batch benchmark (the navigator asks
+#: the same questions over and over; ``BATCH_REPEATS`` models that).
+BATCH_SCHEMAS = schemas_by_size([5, 6, 7], RandomSchemaConfig(seed=11))
+BATCH_REPEATS = 3
+
+
+def _batch_workload(n_queries=8, repeats=BATCH_REPEATS, seed=3):
+    """A ``decide_many`` batch over the random schemas: an implication and
+    summarizability mix, each query appearing ``repeats`` times."""
+    batch = []
+    for _size, schema in sorted(BATCH_SCHEMAS.items()):
+        items = [
+            (schema, ("implies", q))
+            for q in implication_workload(schema, n_queries=n_queries, seed=seed)
+        ]
+        items += [
+            (schema, ("summarizable", target, sources))
+            for target, sources in summarizability_workload(
+                schema, n_queries=n_queries, seed=seed
+            )
+        ]
+        batch.extend(items * repeats)
+    return batch
+
+
+def _sequential_kernel_answers(batch):
+    """The baseline: every request answered by the uncached sequential
+    kernel, one at a time."""
+    verdicts = []
+    for schema, request in batch:
+        if request[0] == "implies":
+            verdicts.append(is_implied(schema, request[1], cache=None))
+        else:
+            verdicts.append(
+                is_summarizable_in_schema(
+                    schema, request[1], request[2], cache=None
+                )
+            )
+    return verdicts
 
 
 @pytest.mark.parametrize("name", sorted(SCHEMAS))
@@ -50,6 +101,21 @@ def test_implication_workload(benchmark, name):
 
     verdicts = benchmark(run)
     assert any(verdicts)
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_parallel_batch_workload(benchmark, workers):
+    """The engine's batch path at 1 and 4 workers (fresh cache per run)."""
+    batch = _batch_workload()
+
+    def run():
+        with ParallelDecisionEngine(
+            max_workers=workers, cache=DecisionCache()
+        ) as engine:
+            return engine.decide_many(batch)
+
+    verdicts = benchmark(run)
+    assert len(verdicts) == len(batch)
 
 
 def test_suite_conjecture_table():
@@ -149,6 +215,64 @@ def _quick_smoke(output_path, repeats=3, n_queries=10):
     return report
 
 
+def _parallel_smoke(output_path, repeats=3):
+    """Sequential kernel vs ``decide_many`` on the random-schema batch.
+
+    Both paths answer the identical batch; the engine runs it as one
+    deduped concurrent batch at 4 workers over a fresh decision cache.
+    Verdicts must be byte-identical (compared on their canonical JSON
+    encoding, which is what BENCH_2.json records); the gate fails below
+    a 2x wall-clock speedup.
+    """
+    batch = _batch_workload()
+
+    start = time.perf_counter()
+    sequential_verdicts = []
+    for _ in range(repeats):
+        sequential_verdicts = _sequential_kernel_answers(batch)
+    sequential_s = (time.perf_counter() - start) / repeats
+
+    start = time.perf_counter()
+    parallel_verdicts = []
+    engine_stats = None
+    for _ in range(repeats):
+        with ParallelDecisionEngine(
+            max_workers=4, cache=DecisionCache()
+        ) as engine:
+            parallel_verdicts = engine.decide_many(batch)
+            engine_stats = engine.stats
+    parallel_s = (time.perf_counter() - start) / repeats
+
+    sequential_bytes = json.dumps(sequential_verdicts).encode()
+    parallel_bytes = json.dumps(parallel_verdicts).encode()
+    if sequential_bytes != parallel_bytes:
+        raise AssertionError(
+            "parallel batch verdicts diverge from the sequential kernel"
+        )
+
+    report = {
+        "benchmark": "parallel batch decisions (random-schema workload)",
+        "baseline": "per-request sequential kernel, uncached",
+        "parallel": "ParallelDecisionEngine.decide_many, 4 workers, "
+        "fresh DecisionCache per run",
+        "requests": len(batch),
+        "unique_requests": len(batch) // BATCH_REPEATS,
+        "repeats": repeats,
+        "sequential_s": sequential_s,
+        "parallel_s": parallel_s,
+        "speedup": sequential_s / parallel_s if parallel_s else float("inf"),
+        "verdicts_identical": True,
+        "verdicts": json.loads(parallel_bytes.decode()),
+        "engine_stats": {
+            "batch_requests": engine_stats.batch_requests,
+            "batch_deduped": engine_stats.batch_deduped,
+            "tasks_dispatched": engine_stats.tasks_dispatched,
+        },
+    }
+    output_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
 def _main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -176,6 +300,19 @@ def _main(argv=None):
         print("FAIL: cached implication benchmark regressed by more than 20%")
         return 1
     print("OK: no regression")
+
+    bench2_path = Path(args.output).with_name("BENCH_2.json")
+    parallel = _parallel_smoke(bench2_path)
+    print(
+        f"parallel batch benchmark: sequential "
+        f"{parallel['sequential_s'] * 1000:.1f} ms, batch (4 workers) "
+        f"{parallel['parallel_s'] * 1000:.1f} ms "
+        f"({parallel['speedup']:.1f}x), report -> {bench2_path}"
+    )
+    if parallel["speedup"] < 2.0:
+        print("FAIL: parallel batch speedup below 2x")
+        return 1
+    print("OK: parallel batch at or above 2x with identical verdicts")
     return 0
 
 

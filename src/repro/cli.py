@@ -48,6 +48,9 @@ from typing import List, Optional
 
 from repro.constraints.semantics import failures
 from repro.core import (
+    ALL,
+    DecisionBudget,
+    ParallelDecisionEngine,
     dimsat,
     enumerate_frozen_dimensions,
     implies,
@@ -55,7 +58,7 @@ from repro.core import (
     satisfiability_report,
 )
 from repro.core.schema import DimensionSchema
-from repro.errors import ReproError
+from repro.errors import BudgetExceeded, ReproError
 from repro.io import (
     frozen_set_to_dot,
     hierarchy_to_dot,
@@ -68,9 +71,38 @@ def _load_schema(path: str) -> DimensionSchema:
     return schema_from_json(Path(path).read_text())
 
 
+def _budget_from_args(args: argparse.Namespace) -> Optional[DecisionBudget]:
+    ms = getattr(args, "budget_ms", None)
+    if ms is None:
+        return None
+    return DecisionBudget(time_ms=ms)
+
+
+def _engine_from_args(args: argparse.Namespace) -> Optional[ParallelDecisionEngine]:
+    """A :class:`ParallelDecisionEngine` when ``--workers``/``--budget-ms``
+    asked for one, else ``None`` (the plain sequential entry points)."""
+    workers = getattr(args, "workers", None)
+    budget = _budget_from_args(args)
+    if workers is None and budget is None:
+        return None
+    return ParallelDecisionEngine(max_workers=workers or 1, budget=budget)
+
+
 def _cmd_audit(args: argparse.Namespace) -> int:
     schema = _load_schema(args.schema)
-    report = satisfiability_report(schema)
+    engine = _engine_from_args(args)
+    if engine is not None:
+        with engine:
+            categories = [
+                c for c in sorted(schema.hierarchy.categories) if c != ALL
+            ]
+            verdicts = engine.decide_many(
+                [(schema, ("dimsat", c)) for c in categories]
+            )
+        report = dict(zip(categories, verdicts))
+        report[ALL] = True
+    else:
+        report = satisfiability_report(schema)
     bad = 0
     for category, satisfiable in sorted(report.items()):
         marker = "ok " if satisfiable else "DEAD"
@@ -84,7 +116,12 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 def _cmd_implies(args: argparse.Namespace) -> int:
     schema = _load_schema(args.schema)
-    result = implies(schema, args.constraint)
+    engine = _engine_from_args(args)
+    if engine is not None:
+        with engine:
+            result = engine.implies(schema, args.constraint)
+    else:
+        result = implies(schema, args.constraint)
     if result.implied:
         print("implied")
         return 0
@@ -96,7 +133,12 @@ def _cmd_implies(args: argparse.Namespace) -> int:
 
 def _cmd_summarizable(args: argparse.Namespace) -> int:
     schema = _load_schema(args.schema)
-    verdict = is_summarizable_in_schema(schema, args.target, args.sources)
+    engine = _engine_from_args(args)
+    if engine is not None:
+        with engine:
+            verdict = engine.is_summarizable(schema, args.target, args.sources)
+    else:
+        verdict = is_summarizable_in_schema(schema, args.target, args.sources)
     print("yes" if verdict else "no")
     return 0 if verdict else 1
 
@@ -211,7 +253,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_satisfiable(args: argparse.Namespace) -> int:
     schema = _load_schema(args.schema)
-    result = dimsat(schema, args.category)
+    engine = _engine_from_args(args)
+    if engine is not None:
+        with engine:
+            result = engine.dimsat(schema, args.category)
+    else:
+        result = dimsat(schema, args.category)
     if result.satisfiable:
         print(f"satisfiable: {result.witness.describe()}")
         return 0
@@ -231,6 +278,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="after the command, print satisfiability-kernel cache "
         "statistics (decision cache, circle-operator cache, interned "
         "nodes) to stderr",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="decide through a parallel engine with N workers "
+        "(audit batches all categories; implies/summarizable/satisfiable "
+        "fan out their internal branches)",
+    )
+    parser.add_argument(
+        "--budget-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-decision wall-clock budget in milliseconds; a decision "
+        "that exceeds it aborts with exit code 3 instead of returning a "
+        "possibly-wrong verdict",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -310,6 +375,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except BudgetExceeded as error:
+        print(f"budget exceeded: {error}", file=sys.stderr)
+        return 3
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -27,6 +27,7 @@ lookups instead of tree walks.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from dataclasses import dataclass, fields
 from typing import Dict, Iterator, Optional, Tuple
@@ -451,14 +452,21 @@ _INTERN_TABLE: "weakref.WeakValueDictionary[Tuple[object, ...], Node]" = (
     weakref.WeakValueDictionary()
 )
 
+#: Guards the check-then-insert in :func:`_intern`.  Without it, two
+#: threads interning equal nodes could each insert their own copy and
+#: hand out *different* canonical objects, breaking every identity-keyed
+#: memo downstream (circle cache, decision cache).
+_INTERN_LOCK = threading.Lock()
+
 
 def _intern(node: Node) -> Node:
     key = (node.__class__,) + _field_values(node)
-    canonical = _INTERN_TABLE.get(key)
-    if canonical is not None:
-        return canonical
-    _INTERN_TABLE[key] = node
-    return node
+    with _INTERN_LOCK:
+        canonical = _INTERN_TABLE.get(key)
+        if canonical is not None:
+            return canonical
+        _INTERN_TABLE[key] = node
+        return node
 
 
 def hash_cons(node: Node) -> Node:

@@ -2,6 +2,7 @@
 frozen dimensions, the DIMSAT algorithm, implication, and summarizability.
 """
 
+from repro.core.budget import DecisionBudget, DecisionCancelled
 from repro.core.builder import InstanceBuilder
 from repro.core.decisioncache import (
     USE_DEFAULT_CACHE,
@@ -49,6 +50,7 @@ from repro.core.implication import (
     unsatisfiable_categories,
 )
 from repro.core.instance import TOP_MEMBER, DimensionInstance, Member
+from repro.core.parallel import EngineStats, ParallelDecisionEngine, normalize_request
 from repro.core.normalize import (
     implied_into_edges,
     minimize,
@@ -77,14 +79,17 @@ __all__ = [
     "ALL",
     "Category",
     "CircleCache",
+    "DecisionBudget",
     "DecisionCache",
     "DecisionCacheStats",
+    "DecisionCancelled",
     "DimensionInstance",
     "DimensionSchema",
     "DimsatOptions",
     "DimsatResult",
     "DimsatStats",
     "Edge",
+    "EngineStats",
     "FrozenDimension",
     "HierarchySchema",
     "ImplicationResult",
@@ -93,6 +98,7 @@ __all__ = [
     "MemberDiagnosis",
     "SummarizabilityExplanation",
     "NK",
+    "ParallelDecisionEngine",
     "ReasoningProfile",
     "SchemaProfile",
     "SearchBudgetExceeded",
@@ -117,6 +123,7 @@ __all__ = [
     "is_summarizable_in_instance",
     "is_summarizable_in_schema",
     "minimize",
+    "normalize_request",
     "phi",
     "redundant_constraints",
     "prune_unsatisfiable",

@@ -1,0 +1,163 @@
+"""Per-decision work budgets and cooperative cancellation.
+
+Every decision the kernel serves - DIMSAT, implication, schema-level
+summarizability - is a bounded but potentially exponential search.  A
+service answering heavy multi-query traffic needs two robustness
+controls the paper's offline setting never did:
+
+* **budgets** - a ceiling on the work one decision may consume, expressed
+  in search nodes (EXPAND calls) and/or wall-clock milliseconds.  When the
+  ceiling is hit the search raises :class:`~repro.errors.BudgetExceeded`
+  instead of returning a possibly-wrong verdict; nothing is cached for the
+  aborted decision, so a later retry with a larger budget is correct.
+* **cooperative cancellation** - when several branches of one decision run
+  concurrently (the :class:`~repro.core.parallel.ParallelDecisionEngine`
+  fan-out) and one of them settles the answer, the losers are told to stop
+  at their next budget checkpoint via :meth:`DecisionBudget.cancel`.
+
+One :class:`DecisionBudget` instance covers one *decision*: concurrent
+branches of that decision share the node counter (the budget bounds the
+decision's total work, not each branch's), and all of them observe the
+same cancellation flag.  Budgets are deliberately not hashable cache-key
+material - they never change a verdict, only whether one is reached.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional, Tuple
+
+from repro.errors import BudgetExceeded, ReproError
+
+
+class DecisionCancelled(ReproError):
+    """A concurrently-running branch was told to stop.
+
+    This is control flow, not failure: the engine raises it in losing
+    branches once a sibling has settled the decision.  It never escapes
+    the engine's public API.
+    """
+
+
+#: Picklable description of a budget: ``(max_nodes, time_ms)``.  Process
+#: workers rebuild a fresh :class:`DecisionBudget` from this (locks and
+#: events do not cross process boundaries).
+BudgetSpec = Tuple[Optional[int], Optional[float]]
+
+
+class DecisionBudget:
+    """A node/time ceiling for one decision, shared by its branches.
+
+    Parameters
+    ----------
+    max_nodes:
+        Maximum number of search nodes (DIMSAT EXPAND calls) the decision
+        may charge; ``None`` means unbounded.  A budget of ``0`` nodes
+        forbids any search at all - the first charge raises.
+    time_ms:
+        Wall-clock allowance in milliseconds, measured from construction;
+        ``None`` means unbounded.
+
+    The budget is thread-safe: branches running on a pool charge the same
+    counter.  :meth:`charge` is the single checkpoint - it raises
+    :class:`~repro.errors.BudgetExceeded` when a ceiling is hit and
+    :class:`DecisionCancelled` when :meth:`cancel` was called.
+    """
+
+    __slots__ = ("max_nodes", "time_ms", "_deadline", "_nodes", "_lock", "_cancel")
+
+    def __init__(
+        self,
+        max_nodes: Optional[int] = None,
+        time_ms: Optional[float] = None,
+    ) -> None:
+        if max_nodes is not None and max_nodes < 0:
+            raise ValueError("max_nodes must be non-negative")
+        if time_ms is not None and time_ms < 0:
+            raise ValueError("time_ms must be non-negative")
+        self.max_nodes = max_nodes
+        self.time_ms = time_ms
+        self._deadline = (
+            time.monotonic() + time_ms / 1000.0 if time_ms is not None else None
+        )
+        self._nodes = 0
+        self._lock = threading.Lock()
+        self._cancel = threading.Event()
+
+    # ------------------------------------------------------------------
+    # The checkpoint
+    # ------------------------------------------------------------------
+
+    def charge(self, nodes: int = 1) -> None:
+        """Account for ``nodes`` units of work; raise when over budget.
+
+        Raises :class:`DecisionCancelled` first (a cancelled branch's
+        work no longer matters), then :class:`BudgetExceeded` on a blown
+        deadline or node ceiling.
+        """
+        if self._cancel.is_set():
+            raise DecisionCancelled("decision branch cancelled")
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise BudgetExceeded(
+                f"decision exceeded its time budget of {self.time_ms} ms"
+            )
+        if self.max_nodes is not None:
+            with self._lock:
+                self._nodes += nodes
+                if self._nodes > self.max_nodes:
+                    raise BudgetExceeded(
+                        f"decision exceeded its node budget of {self.max_nodes}"
+                    )
+        else:
+            with self._lock:
+                self._nodes += nodes
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+
+    def cancel(self) -> None:
+        """Tell every branch sharing this budget to stop at its next
+        checkpoint."""
+        self._cancel.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancel.is_set()
+
+    # ------------------------------------------------------------------
+    # Introspection and derivation
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes_charged(self) -> int:
+        """Total nodes charged so far (across every branch)."""
+        return self._nodes
+
+    def spec(self) -> BudgetSpec:
+        """The picklable ``(max_nodes, time_ms)`` description."""
+        return (self.max_nodes, self.time_ms)
+
+    def fresh(self) -> "DecisionBudget":
+        """A new budget with the same limits and a restarted clock.
+
+        The engine treats a configured budget as a *template*: every
+        decision gets its own fresh copy so one slow decision cannot
+        starve the next.
+        """
+        return DecisionBudget(self.max_nodes, self.time_ms)
+
+    @classmethod
+    def from_spec(cls, spec: Optional[BudgetSpec]) -> Optional["DecisionBudget"]:
+        """Rebuild a budget shipped across a process boundary."""
+        if spec is None:
+            return None
+        max_nodes, time_ms = spec
+        return cls(max_nodes=max_nodes, time_ms=time_ms)
+
+    def __repr__(self) -> str:
+        return (
+            f"DecisionBudget(max_nodes={self.max_nodes}, "
+            f"time_ms={self.time_ms}, charged={self._nodes})"
+        )

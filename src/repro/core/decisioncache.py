@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, Optional, Tuple
 from repro._types import Category
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.budget import DecisionBudget
     from repro.core.dimsat import DimsatOptions, DimsatResult
     from repro.core.implication import ImplicationResult
     from repro.core.schema import DimensionSchema
@@ -114,9 +115,13 @@ class DecisionCache:
             if full_key in self._data:
                 self.stats.hits += 1
                 return self._data[full_key]
+            # Count the miss before computing: hits + misses then equals
+            # the number of lookups even when ``compute`` raises (a budget
+            # abort or cancellation), which also guarantees the aborted
+            # decision leaves no entry behind.
+            self.stats.misses += 1
         value = compute()
         with self._lock:
-            self.stats.misses += 1
             if full_key not in self._data:
                 if len(self._data) >= self.max_entries:
                     self._data.pop(next(iter(self._data)))
@@ -133,13 +138,19 @@ class DecisionCache:
         schema: "DimensionSchema",
         category: Category,
         options: "Optional[DimsatOptions]" = None,
+        budget: "Optional[DecisionBudget]" = None,
     ) -> "DimsatResult":
-        """Memoized :func:`repro.core.dimsat.dimsat`."""
+        """Memoized :func:`repro.core.dimsat.dimsat`.
+
+        ``budget`` is deliberately not part of the cache key: it never
+        changes a verdict, only whether one is reached, and an aborted
+        computation raises out of ``compute`` before anything is stored.
+        """
         from repro.core.dimsat import dimsat as run_dimsat
 
         key = ("dimsat", category, _options_key(options))
         return self.memoize(  # type: ignore[return-value]
-            schema, key, lambda: run_dimsat(schema, category, options)
+            schema, key, lambda: run_dimsat(schema, category, options, budget)
         )
 
     def implies(
@@ -147,6 +158,7 @@ class DecisionCache:
         schema: "DimensionSchema",
         constraint: object,
         options: "Optional[DimsatOptions]" = None,
+        budget: "Optional[DecisionBudget]" = None,
     ) -> "ImplicationResult":
         """Memoized :func:`repro.core.implication.implies`."""
         from repro.constraints.printer import unparse
@@ -155,7 +167,9 @@ class DecisionCache:
         node = _as_node(constraint)
         key = ("implies", unparse(node), _options_key(options))
         return self.memoize(  # type: ignore[return-value]
-            schema, key, lambda: run_implies(schema, node, options, cache=None)
+            schema,
+            key,
+            lambda: run_implies(schema, node, options, cache=None, budget=budget),
         )
 
     def is_implied(
@@ -163,9 +177,10 @@ class DecisionCache:
         schema: "DimensionSchema",
         constraint: object,
         options: "Optional[DimsatOptions]" = None,
+        budget: "Optional[DecisionBudget]" = None,
     ) -> bool:
         """Memoized implication verdict."""
-        return self.implies(schema, constraint, options).implied
+        return self.implies(schema, constraint, options, budget).implied
 
     def is_summarizable(
         self,
@@ -173,6 +188,7 @@ class DecisionCache:
         target: Category,
         sources: Iterable[Category],
         options: "Optional[DimsatOptions]" = None,
+        budget: "Optional[DecisionBudget]" = None,
     ) -> bool:
         """Memoized schema-level summarizability (Theorem 1)."""
         from repro.core.summarizability import _is_summarizable_uncached
@@ -186,7 +202,7 @@ class DecisionCache:
             # still go through *this* cache, so different source sets
             # share whatever implication work overlaps.
             lambda: _is_summarizable_uncached(
-                schema, target, source_key, options, self
+                schema, target, source_key, options, self, budget
             ),
         )
 

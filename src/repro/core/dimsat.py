@@ -32,6 +32,7 @@ so every configuration remains sound and complete - only slower.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -59,10 +60,11 @@ from repro.constraints.ast import (
     constraint_root,
 )
 from repro.constraints.simplify import evaluate, simplify, substitute
+from repro.core.budget import DecisionBudget
 from repro.core.frozen import FrozenDimension, Subhierarchy
 from repro.core.hierarchy import ALL, Category, HierarchySchema
 from repro.core.schema import NK, DimensionSchema
-from repro.errors import SchemaError
+from repro.errors import BudgetExceeded, SchemaError
 
 
 # ----------------------------------------------------------------------
@@ -101,9 +103,22 @@ class DimsatOptions:
     circle_cache: bool = True
 
 
+#: One process-wide lock for every :class:`DimsatStats` instance.  A
+#: module-level lock (rather than a per-instance one) keeps the dataclass
+#: picklable for process-pool workers and its generated ``__eq__`` exact;
+#: counter increments are rare enough that contention is negligible.
+_STATS_LOCK = threading.Lock()
+
+
 @dataclass
 class DimsatStats:
-    """Work counters for one DIMSAT run."""
+    """Work counters for one DIMSAT run.
+
+    Counters are updated through :meth:`incr`, which is atomic: the
+    parallel decision engine runs several branches of one search - all
+    sharing this object - on a thread pool, and a plain ``+=`` would lose
+    updates under that interleaving.
+    """
 
     expand_calls: int = 0
     check_calls: int = 0
@@ -114,6 +129,31 @@ class DimsatStats:
     #: Circle-operator reductions answered by the memo / computed fresh.
     circle_hits: int = 0
     circle_misses: int = 0
+
+    def incr(self, counter: str, delta: int = 1) -> None:
+        """Atomically add ``delta`` to the named counter."""
+        with _STATS_LOCK:
+            setattr(self, counter, getattr(self, counter) + delta)
+
+    def merge(self, other: "DimsatStats") -> None:
+        """Atomically fold another run's counters into this one (used when
+        aggregating per-branch or per-worker stats)."""
+        with _STATS_LOCK:
+            for field_name in (
+                "expand_calls",
+                "check_calls",
+                "assignments_tested",
+                "subhierarchies_completed",
+                "into_pruned_branches",
+                "dead_ends",
+                "circle_hits",
+                "circle_misses",
+            ):
+                setattr(
+                    self,
+                    field_name,
+                    getattr(self, field_name) + getattr(other, field_name),
+                )
 
     @property
     def circle_hit_rate(self) -> float:
@@ -149,8 +189,13 @@ class DimsatResult:
     trace: List[TraceEntry] = field(default_factory=list)
 
 
-class SearchBudgetExceeded(SchemaError):
-    """Raised when ``max_expansions`` is exhausted before an answer."""
+class SearchBudgetExceeded(BudgetExceeded, SchemaError):
+    """Raised when ``max_expansions`` is exhausted before an answer.
+
+    Subclasses :class:`~repro.errors.BudgetExceeded` (the typed budget
+    error every budget-limited decision raises) and keeps its historical
+    :class:`~repro.errors.SchemaError` parentage for compatibility.
+    """
 
 
 # ----------------------------------------------------------------------
@@ -234,13 +279,17 @@ class CircleCache:
     long-lived services at a fixed memory ceiling.
     """
 
-    __slots__ = ("max_entries", "hits", "misses", "_data")
+    __slots__ = ("max_entries", "hits", "misses", "_data", "_lock")
 
     def __init__(self, max_entries: int = 65536) -> None:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
         self._data: Dict[Tuple[Node, Subhierarchy], Node] = {}
+        # The cache is process-wide and the parallel engine reduces from
+        # many threads at once; the lock guards the lookup/insert *and*
+        # the counters, so hits + misses always equals reduce() calls.
+        self._lock = threading.Lock()
 
     def reduce(
         self,
@@ -250,19 +299,26 @@ class CircleCache:
     ) -> Node:
         """``simplify(circle_node(node, sub))``, memoized."""
         key = (node, sub)
-        cached = self._data.get(key)
+        with self._lock:
+            cached = self._data.get(key)
+            if cached is not None:
+                self.hits += 1
+            else:
+                self.misses += 1
         if cached is not None:
-            self.hits += 1
             if stats is not None:
-                stats.circle_hits += 1
+                stats.incr("circle_hits")
             return cached
-        self.misses += 1
         if stats is not None:
-            stats.circle_misses += 1
+            stats.incr("circle_misses")
+        # Reduction runs outside the lock: it can be expensive, and the
+        # result is deterministic, so concurrent duplicate work is safe
+        # (both threads store the same folded node).
         folded = simplify(circle_node(node, sub))
-        if len(self._data) >= self.max_entries:
-            self._data.pop(next(iter(self._data)))
-        self._data[key] = folded
+        with self._lock:
+            if key not in self._data and len(self._data) >= self.max_entries:
+                self._data.pop(next(iter(self._data)))
+            self._data[key] = folded
         return folded
 
     def __len__(self) -> int:
@@ -275,9 +331,10 @@ class CircleCache:
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 _CIRCLE_CACHE = CircleCache()
@@ -314,7 +371,7 @@ def reduced_constraints(
         else:
             folded = simplify(circle_node(node, sub))
             if stats is not None:
-                stats.circle_misses += 1
+                stats.incr("circle_misses")
         if folded is FALSE or folded == FALSE:
             return None
         if folded is TRUE or folded == TRUE:
@@ -339,23 +396,32 @@ def satisfying_assignments(
     enumerated; all others are fixed to ``nk``, which cannot change any
     truth value.  Assignments are yielded as partial maps (mentioned
     categories only); absent categories mean ``nk``.
+
+    ``All`` is never enumerated: condition (C2) fixes its single member's
+    name to ``all`` in every instance, so atoms over ``All`` evaluate
+    against that literal name instead of a free constant.
     """
+    from repro.core.instance import TOP_MEMBER
+
     mentioned: List[Category] = sorted(
         {
             atom.category
             for node in residual
             for atom in node.atoms()
             if isinstance(atom, (EqualityAtom, ComparisonAtom))
+            and atom.category != ALL
         }
     )
     domains = [schema.constant_domain(c) for c in mentioned]
     for combo in itertools.product(*domains):
         assignment = dict(zip(mentioned, combo))
         if stats is not None:
-            stats.assignments_tested += 1
+            stats.incr("assignments_tested")
 
         def atom_truth(atom: Atom) -> bool:
             if isinstance(atom, EqualityAtom):
+                if atom.category == ALL:
+                    return atom.constant == TOP_MEMBER
                 value = assignment.get(atom.category, NK)
                 if isinstance(value, float):
                     # Numeric category: representatives are floats and
@@ -363,6 +429,10 @@ def satisfying_assignments(
                     return value == float(atom.constant)
                 return value == atom.constant
             if isinstance(atom, ComparisonAtom):
+                if atom.category == ALL:
+                    # The single member of All is named 'all', which is
+                    # not numeric, so no comparison ever holds there.
+                    return False
                 value = assignment.get(atom.category, NK)
                 if not isinstance(value, float):
                     return False
@@ -509,12 +579,15 @@ class _Search:
         schema: DimensionSchema,
         category: Category,
         options: DimsatOptions,
+        budget: Optional[DecisionBudget] = None,
     ) -> None:
         self.schema = schema
         self.category = category
         self.options = options
+        self.budget = budget
         self.stats = DimsatStats()
         self.trace: List[TraceEntry] = []
+        self._trace_lock = threading.Lock()
         self.circle_cache = _CIRCLE_CACHE if options.circle_cache else None
 
     def _record(
@@ -527,20 +600,53 @@ class _Search:
     ) -> None:
         if not self.options.keep_trace:
             return
-        self.trace.append(
-            TraceEntry(
-                kind=kind,
-                category=category,
-                added=tuple(sorted(added)),
-                edges=tuple(sorted(state.edges())),
-                top=tuple(sorted(state.top)),
-                succeeded=succeeded,
-            )
+        entry = TraceEntry(
+            kind=kind,
+            category=category,
+            added=tuple(sorted(added)),
+            edges=tuple(sorted(state.edges())),
+            top=tuple(sorted(state.top)),
+            succeeded=succeeded,
         )
+        with self._trace_lock:
+            self.trace.append(entry)
+
+    def _charge_expansion(self) -> None:
+        """One EXPAND call's worth of accounting and budget checks."""
+        self.stats.incr("expand_calls")
+        if (
+            self.options.max_expansions is not None
+            and self.stats.expand_calls > self.options.max_expansions
+        ):
+            raise SearchBudgetExceeded(
+                f"DIMSAT exceeded {self.options.max_expansions} EXPAND calls"
+            )
+        if self.budget is not None:
+            self.budget.charge()
 
     def run(self) -> Iterator[FrozenDimension]:
         state = _GState.initial(self.category)
         yield from self._expand(state, self.category, frozenset())
+
+    def initial_jobs(self) -> Tuple[_GState, List[Tuple[_GState, Category, FrozenSet[Category]]]]:
+        """The root state and its first-level branch jobs.
+
+        This is the parallel engine's entry point: each returned job is an
+        independent ``(state, category, parents)`` continuation that can
+        run on its own worker via :meth:`expand_from`; together they cover
+        exactly the search :meth:`run` performs.  The root expansion is
+        charged here, mirroring ``_expand``'s prologue.
+        """
+        self._charge_expansion()
+        state = _GState.initial(self.category)
+        self._record("expand", state, self.category, frozenset())
+        return state, list(self._branch_jobs(state))
+
+    def expand_from(
+        self, job: Tuple[_GState, Category, FrozenSet[Category]]
+    ) -> Iterator[FrozenDimension]:
+        """Resume the search at one branch job (parallel fan-out)."""
+        yield from self._expand(*job)
 
     # The recursive EXPAND of Figure 6, as a generator so callers can stop
     # at the first frozen dimension (DIMSAT) or exhaust the space
@@ -551,22 +657,15 @@ class _Search:
         current: Category,
         chosen: FrozenSet[Category],
     ) -> Iterator[FrozenDimension]:
-        self.stats.expand_calls += 1
-        if (
-            self.options.max_expansions is not None
-            and self.stats.expand_calls > self.options.max_expansions
-        ):
-            raise SearchBudgetExceeded(
-                f"DIMSAT exceeded {self.options.max_expansions} EXPAND calls"
-            )
+        self._charge_expansion()
 
         if chosen:
             state = state.extend(current, chosen)
         self._record("expand", state, current, chosen)
 
         if state.top == frozenset({ALL}):
-            self.stats.check_calls += 1
-            self.stats.subhierarchies_completed += 1
+            self.stats.incr("check_calls")
+            self.stats.incr("subhierarchies_completed")
             sub = state.to_subhierarchy()
             produced = False
             need_structure = not (
@@ -587,10 +686,23 @@ class _Search:
                 self._record("check", state, None, (), succeeded=False)
             return
 
+        for job in self._branch_jobs(state):
+            yield from self._expand(*job)
+
+    def _branch_jobs(
+        self, state: _GState
+    ) -> Iterator[Tuple[_GState, Category, FrozenSet[Category]]]:
+        """The child expansions of one incomplete state (Figure 6 lines
+        6-17), as ``(state, category, parents)`` jobs.
+
+        Factored out of ``_expand`` so the parallel engine can enumerate
+        the first level of branching and dispatch each job to a worker;
+        the sequential search simply recurses over them in order.
+        """
         if not state.top:
             # Only reachable with cycle pruning disabled: a cycle swallowed
             # the frontier before All was reached.
-            self.stats.dead_ends += 1
+            self.stats.incr("dead_ends")
             return
 
         ctop = _choose_top(state, self.options)
@@ -609,13 +721,13 @@ class _Search:
         if self.options.into_pruning:
             forced = self.schema.into_targets(ctop)
             if not forced <= legal:
-                self.stats.into_pruned_branches += 1
+                self.stats.incr("into_pruned_branches")
                 return
         else:
             forced = frozenset()
 
         if not legal:
-            self.stats.dead_ends += 1
+            self.stats.incr("dead_ends")
             return
 
         optional = legal - forced
@@ -639,7 +751,7 @@ class _Search:
                 continue
             if self.options.shortcut_pruning and internal_shortcut(parents):
                 continue
-            yield from self._expand(state, ctop, parents)
+            yield (state, ctop, parents)
 
 
 # ----------------------------------------------------------------------
@@ -661,12 +773,17 @@ def dimsat(
     schema: DimensionSchema,
     category: Category,
     options: Optional[DimsatOptions] = None,
+    budget: Optional[DecisionBudget] = None,
 ) -> DimsatResult:
     """Decide whether ``category`` is satisfiable in ``schema``.
 
     Returns a :class:`DimsatResult` whose ``witness`` is a frozen dimension
     with root ``category`` when one exists (Theorem 3).  ``All`` is always
     satisfiable (Proposition 1).
+
+    ``budget`` bounds the search: when its node or time ceiling is hit the
+    call raises :class:`~repro.errors.BudgetExceeded` instead of returning
+    a verdict (it never degrades into a wrong answer).
 
     >>> from repro.generators.location import location_schema
     >>> dimsat(location_schema(), "Store").satisfiable
@@ -677,7 +794,7 @@ def dimsat(
         raise SchemaError(f"unknown category {category!r}")
     if category == ALL:
         return _trivial_all_result(options)
-    search = _Search(schema, category, options)
+    search = _Search(schema, category, options, budget=budget)
     witness = next(search.run(), None)
     return DimsatResult(
         satisfiable=witness is not None,
@@ -691,6 +808,7 @@ def enumerate_frozen_dimensions(
     schema: DimensionSchema,
     category: Category,
     options: Optional[DimsatOptions] = None,
+    budget: Optional[DecisionBudget] = None,
 ) -> List[FrozenDimension]:
     """Every frozen dimension of the schema with the given root.
 
@@ -703,7 +821,7 @@ def enumerate_frozen_dimensions(
         raise SchemaError(f"unknown category {category!r}")
     if category == ALL:
         return [_trivial_all_result(options).witness]  # type: ignore[list-item]
-    search = _Search(schema, category, options)
+    search = _Search(schema, category, options, budget=budget)
     return list(search.run())
 
 
@@ -711,8 +829,9 @@ def dimsat_with_search(
     schema: DimensionSchema,
     category: Category,
     options: Optional[DimsatOptions] = None,
+    budget: Optional[DecisionBudget] = None,
 ) -> Tuple[DimsatResult, DimsatStats]:
     """Like :func:`dimsat` but also returns the stats object (convenience
     for benchmarks that aggregate counters across runs)."""
-    result = dimsat(schema, category, options)
+    result = dimsat(schema, category, options, budget)
     return result, result.stats

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.constraints.ast import Node, Not, constraint_root
 from repro.constraints.atoms import validate_constraint
 from repro.constraints.parser import parse
+from repro.core.budget import DecisionBudget
 from repro.core.decisioncache import USE_DEFAULT_CACHE, DecisionCache, resolve_cache
 from repro.core.dimsat import DimsatOptions, DimsatResult, dimsat
 from repro.core.frozen import FrozenDimension
@@ -61,17 +62,20 @@ def is_category_satisfiable(
     category: Category,
     options: Optional[DimsatOptions] = None,
     cache: object = USE_DEFAULT_CACHE,
+    budget: Optional[DecisionBudget] = None,
 ) -> bool:
     """Category satisfiability (Section 4), decided by DIMSAT.
 
     ``cache`` is a :class:`~repro.core.decisioncache.DecisionCache`
     memoizing the verdict by schema fingerprint; pass ``None`` to force a
-    fresh search.
+    fresh search.  ``budget`` bounds the search
+    (:class:`~repro.errors.BudgetExceeded` on exhaustion); an aborted
+    decision is never cached.
     """
     resolved = resolve_cache(cache)
     if resolved is not None:
-        return resolved.dimsat(schema, category, options).satisfiable
-    return dimsat(schema, category, options).satisfiable
+        return resolved.dimsat(schema, category, options, budget).satisfiable
+    return dimsat(schema, category, options, budget).satisfiable
 
 
 def implies(
@@ -79,6 +83,7 @@ def implies(
     constraint: object,
     options: Optional[DimsatOptions] = None,
     cache: object = USE_DEFAULT_CACHE,
+    budget: Optional[DecisionBudget] = None,
 ) -> ImplicationResult:
     """Decide ``ds |= alpha`` via Theorem 2.
 
@@ -91,7 +96,9 @@ def implies(
     :func:`~repro.core.decisioncache.default_decision_cache`) keyed by the
     schema fingerprint and the constraint's canonical text; implication is
     deterministic, so a cached result is bit-identical to a fresh one.
-    Pass ``cache=None`` for the uncached path.
+    Pass ``cache=None`` for the uncached path.  ``budget`` bounds the
+    underlying DIMSAT search; a budget-aborted decision raises
+    :class:`~repro.errors.BudgetExceeded` and leaves the cache untouched.
 
     >>> from repro.generators.location import location_schema
     >>> implies(location_schema(), "Store.City.Country").implied
@@ -100,13 +107,13 @@ def implies(
     node: Node = parse(constraint) if isinstance(constraint, str) else constraint  # type: ignore[assignment]
     resolved = resolve_cache(cache)
     if resolved is not None:
-        return resolved.implies(schema, node, options)
+        return resolved.implies(schema, node, options, budget)
     root = validate_constraint(schema.hierarchy, node)
     if root == ALL:  # pragma: no cover - validate_constraint already rejects
         raise ConstraintError("constraints rooted at All are not allowed")
 
     extended = schema.with_constraints([Not(node)])
-    result = dimsat(extended, root, options)
+    result = dimsat(extended, root, options, budget)
     return ImplicationResult(
         implied=not result.satisfiable,
         counterexample=result.witness,
@@ -119,9 +126,10 @@ def is_implied(
     constraint: object,
     options: Optional[DimsatOptions] = None,
     cache: object = USE_DEFAULT_CACHE,
+    budget: Optional[DecisionBudget] = None,
 ) -> bool:
     """Shorthand for ``implies(...).implied``."""
-    return implies(schema, constraint, options, cache).implied
+    return implies(schema, constraint, options, cache, budget).implied
 
 
 def equivalent(
@@ -130,6 +138,7 @@ def equivalent(
     right: object,
     options: Optional[DimsatOptions] = None,
     cache: object = USE_DEFAULT_CACHE,
+    budget: Optional[DecisionBudget] = None,
 ) -> bool:
     """Whether two constraints are equivalent over every instance of the
     schema (mutual implication)."""
@@ -138,7 +147,7 @@ def equivalent(
     from repro.constraints.ast import Iff
 
     both = Iff(left_node, right_node)
-    return is_implied(schema, both, options, cache)
+    return is_implied(schema, both, options, cache, budget)
 
 
 def unsatisfiable_categories(

@@ -1,0 +1,622 @@
+"""A parallel batch decision engine over the satisfiability kernel.
+
+Two independence results of the paper make its decision procedures
+embarrassingly parallel:
+
+* **Theorem 1** reduces schema-level summarizability to one implication
+  test *per bottom category* - the tests share nothing but the schema, so
+  they can run concurrently and the first failing bottom settles the
+  verdict (the rest are cancelled);
+* **Theorem 3** reduces category satisfiability to the existence of a
+  frozen dimension, and DIMSAT's EXPAND enumerates *independent* candidate
+  branches - each first-level branch job can run on its own worker, and
+  the first witness cancels the losers.
+
+:class:`ParallelDecisionEngine` exploits both, plus a third level the OLAP
+layers need most: **request-level batching**.  ``decide_many`` takes a
+whole batch of ``(schema, query)`` pairs - the aggregate navigator's
+candidate sweep, the view selector's trial evaluations, a service's
+queued traffic - deduplicates them by schema fingerprint and canonical
+query key (the same keys the
+:class:`~repro.core.decisioncache.DecisionCache` uses), and fans the
+unique decisions out across a thread or process pool.
+
+Executor modes
+--------------
+
+``mode="thread"``
+    One shared :class:`~concurrent.futures.ThreadPoolExecutor`.  Single
+    decisions (``dimsat``/``implies``/``is_summarizable``) additionally
+    fan out their internal branches; caches are shared in-process, so
+    every worker's verdict warms the same
+    :class:`~repro.core.decisioncache.DecisionCache`.
+``mode="process"``
+    One shared :class:`~concurrent.futures.ProcessPoolExecutor` for
+    ``decide_many``.  Schemas cross the boundary as their canonical JSON
+    text (hierarchy + constraint *texts*), not as pickled ASTs: each
+    worker re-parses and hash-conses the constraints into its own intern
+    table, keyed by schema fingerprint, so a schema is re-interned once
+    per worker no matter how many requests mention it.  Single decisions
+    fall back to the in-process sequential kernel (fanning out the
+    branches of *one* decision across processes would ship more state
+    than it saves).
+
+Robustness
+----------
+
+Every decision gets a fresh :class:`~repro.core.budget.DecisionBudget`
+derived from the engine's template: node/time ceilings raise
+:class:`~repro.errors.BudgetExceeded` (never a wrong verdict, never a
+cache entry), and losing branches are cancelled cooperatively through the
+budget's cancel flag.  When no executor can be created - or a process
+pool breaks mid-flight - the engine degrades to the sequential kernel and
+keeps answering.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import (
+    Executor,
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro._types import ALL, Category
+from repro.constraints.ast import Node, Not
+from repro.constraints.atoms import validate_constraint
+from repro.constraints.parser import parse
+from repro.constraints.printer import unparse
+from repro.core.budget import BudgetSpec, DecisionBudget, DecisionCancelled
+from repro.core.decisioncache import (
+    USE_DEFAULT_CACHE,
+    DecisionCache,
+    _options_key,
+    resolve_cache,
+)
+from repro.core.dimsat import (
+    DimsatOptions,
+    DimsatResult,
+    _Search,
+    _trivial_all_result,
+    dimsat,
+)
+from repro.core.implication import ImplicationResult, is_implied
+from repro.core.schema import DimensionSchema
+from repro.core.summarizability import (
+    _check_categories,
+    summarizability_constraints,
+)
+from repro.errors import BudgetExceeded, ReproError, SchemaError
+
+
+#: A normalized decision request: ``("dimsat", category)``,
+#: ``("implies", canonical_constraint_text)``, or
+#: ``("summarizable", target, sorted_source_tuple)``.  The tuple is
+#: picklable (constraints travel as canonical text) and doubles as the
+#: dedup key alongside the schema fingerprint.
+RequestKey = Tuple[Any, ...]
+
+#: Request kinds ``decide_many`` understands.
+REQUEST_KINDS = ("dimsat", "implies", "summarizable")
+
+
+def normalize_request(request: Sequence[object]) -> RequestKey:
+    """Canonicalize a decision request.
+
+    Accepts ``("dimsat", category)``, ``("implies", constraint)`` (AST
+    node or text), and ``("summarizable", target, sources)``.  The result
+    is hashable, picklable, and canonical: two requests asking the same
+    question normalize to the same key, which is what the batch dedup and
+    the decision cache key on.
+    """
+    if not request:
+        raise ReproError("empty decision request")
+    kind = request[0]
+    if kind == "dimsat":
+        if len(request) != 2:
+            raise ReproError("dimsat requests are ('dimsat', category)")
+        return ("dimsat", request[1])
+    if kind == "implies":
+        if len(request) != 2:
+            raise ReproError("implication requests are ('implies', constraint)")
+        constraint = request[1]
+        node: Node = parse(constraint) if isinstance(constraint, str) else constraint  # type: ignore[assignment]
+        return ("implies", unparse(node))
+    if kind == "summarizable":
+        if len(request) != 3:
+            raise ReproError(
+                "summarizability requests are ('summarizable', target, sources)"
+            )
+        target, sources = request[1], request[2]
+        return ("summarizable", target, tuple(sorted(set(sources))))  # type: ignore[arg-type]
+    raise ReproError(
+        f"unknown decision request kind {kind!r}; expected one of {REQUEST_KINDS}"
+    )
+
+
+@dataclass
+class EngineStats:
+    """Cumulative counters for one :class:`ParallelDecisionEngine`."""
+
+    #: Single decisions served (``dimsat``/``implies``/``is_summarizable``).
+    decisions: int = 0
+    #: Requests received by ``decide_many`` (before dedup).
+    batch_requests: int = 0
+    #: Requests answered by batch dedup instead of a worker.
+    batch_deduped: int = 0
+    #: Branch/bottom tasks dispatched to workers.
+    tasks_dispatched: int = 0
+    #: Tasks cancelled cooperatively after the verdict settled.
+    tasks_cancelled: int = 0
+    #: Decisions served by the sequential fallback path.
+    sequential_fallbacks: int = 0
+
+
+class ParallelDecisionEngine:
+    """Batched, concurrent decision serving with budgets and cancellation.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; ``None`` uses ``os.cpu_count()``.  ``<= 1`` disables
+        the pool entirely (pure sequential fallback).
+    mode:
+        ``"thread"`` (default) or ``"process"`` - see the module
+        docstring for the trade-off.
+    budget:
+        A :class:`~repro.core.budget.DecisionBudget` *template*: every
+        decision gets a ``fresh()`` copy, so the ceilings are per
+        decision, not per engine lifetime.
+    options:
+        :class:`~repro.core.dimsat.DimsatOptions` applied to every
+        underlying search.
+    cache:
+        The :class:`~repro.core.decisioncache.DecisionCache` verdicts are
+        memoized in (default: the process-wide one; ``None`` disables
+        caching).  In process mode each worker additionally keeps its own
+        process-wide cache warm.
+
+    The engine is itself thread-safe and can be shared; use it as a
+    context manager or call :meth:`shutdown` to release the pool.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        mode: str = "thread",
+        budget: Optional[DecisionBudget] = None,
+        options: Optional[DimsatOptions] = None,
+        cache: object = USE_DEFAULT_CACHE,
+    ) -> None:
+        if mode not in ("thread", "process"):
+            raise ReproError(f"unknown executor mode {mode!r}")
+        self.mode = mode
+        self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        self.budget_template = budget
+        self.options = options
+        self.cache: Optional[DecisionCache] = resolve_cache(cache)
+        self.stats = EngineStats()
+        self._lock = threading.Lock()
+        self._executor: Optional[Executor] = None
+        self._executor_failed = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Executor lifecycle
+    # ------------------------------------------------------------------
+
+    def _get_executor(self) -> Optional[Executor]:
+        """The shared pool, or ``None`` when running sequentially."""
+        if self.max_workers <= 1 or self._executor_failed or self._closed:
+            return None
+        with self._lock:
+            if self._executor is None:
+                try:
+                    if self.mode == "process":
+                        self._executor = ProcessPoolExecutor(
+                            max_workers=self.max_workers
+                        )
+                    else:
+                        self._executor = ThreadPoolExecutor(
+                            max_workers=self.max_workers,
+                            thread_name_prefix="repro-decide",
+                        )
+                except (OSError, RuntimeError):
+                    # No processes/threads available (sandboxes, resource
+                    # limits): remember and serve sequentially from now on.
+                    self._executor_failed = True
+                    return None
+            return self._executor
+
+    def _note_fallback(self) -> None:
+        with self._lock:
+            self.stats.sequential_fallbacks += 1
+
+    def shutdown(self, wait_for_tasks: bool = True) -> None:
+        """Release the worker pool (idempotent)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._closed = True
+        if executor is not None:
+            executor.shutdown(wait=wait_for_tasks)
+
+    def __enter__(self) -> "ParallelDecisionEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Budgets
+    # ------------------------------------------------------------------
+
+    def _fresh_budget(self) -> DecisionBudget:
+        """A per-decision budget (always concrete, so cancellation works
+        even when no ceiling was configured)."""
+        if self.budget_template is not None:
+            return self.budget_template.fresh()
+        return DecisionBudget()
+
+    def _budget_spec(self) -> Optional[BudgetSpec]:
+        if self.budget_template is None:
+            return None
+        return self.budget_template.spec()
+
+    # ------------------------------------------------------------------
+    # Single decisions: branch-level fan-out (thread mode)
+    # ------------------------------------------------------------------
+
+    def dimsat(self, schema: DimensionSchema, category: Category) -> DimsatResult:
+        """Category satisfiability with the engine's parallel fan-out.
+
+        The *verdict* is deterministic and memoized under the same cache
+        key the sequential kernel uses; the ``witness`` may be any frozen
+        dimension (whichever branch won the race).
+        """
+        with self._lock:
+            self.stats.decisions += 1
+        if self.cache is not None:
+            key = ("dimsat", category, _options_key(self.options))
+            return self.cache.memoize(  # type: ignore[return-value]
+                schema, key, lambda: self._dimsat_fanout(schema, category)
+            )
+        return self._dimsat_fanout(schema, category)
+
+    def is_satisfiable(self, schema: DimensionSchema, category: Category) -> bool:
+        return self.dimsat(schema, category).satisfiable
+
+    def implies(self, schema: DimensionSchema, constraint: object) -> ImplicationResult:
+        """``ds |= alpha`` via Theorem 2, refuted with the parallel search."""
+        with self._lock:
+            self.stats.decisions += 1
+        node: Node = parse(constraint) if isinstance(constraint, str) else constraint  # type: ignore[assignment]
+        if self.cache is not None:
+            key = ("implies", unparse(node), _options_key(self.options))
+            return self.cache.memoize(  # type: ignore[return-value]
+                schema, key, lambda: self._implies_fanout(schema, node)
+            )
+        return self._implies_fanout(schema, node)
+
+    def is_implied(self, schema: DimensionSchema, constraint: object) -> bool:
+        return self.implies(schema, constraint).implied
+
+    def is_summarizable(
+        self,
+        schema: DimensionSchema,
+        target: Category,
+        sources: Iterable[Category],
+    ) -> bool:
+        """Theorem 1 with the per-bottom-category implication tests fanned
+        out across the pool; the first failing bottom cancels the rest."""
+        with self._lock:
+            self.stats.decisions += 1
+        source_key = tuple(sorted(set(sources)))
+        _check_categories(schema.hierarchy, target, source_key)
+        if self.cache is not None:
+            key = ("summarizable", target, source_key, _options_key(self.options))
+            return self.cache.memoize(  # type: ignore[return-value]
+                schema,
+                key,
+                lambda: self._summarizable_fanout(schema, target, source_key),
+            )
+        return self._summarizable_fanout(schema, target, source_key)
+
+    def _dimsat_fanout(self, schema: DimensionSchema, category: Category) -> DimsatResult:
+        options = self.options or DimsatOptions()
+        budget = self._fresh_budget()
+        executor = self._get_executor() if self.mode == "thread" else None
+        if executor is None:
+            self._note_fallback()
+            return dimsat(schema, category, options, budget)
+        if not schema.hierarchy.has_category(category):
+            raise SchemaError(f"unknown category {category!r}")
+        if category == ALL:
+            return _trivial_all_result(options)
+
+        search = _Search(schema, category, options, budget=budget)
+        _root_state, jobs = search.initial_jobs()
+        if not jobs:
+            return DimsatResult(
+                satisfiable=False, witness=None, stats=search.stats, trace=search.trace
+            )
+
+        def run_branch(job: Tuple[object, ...]) -> object:
+            try:
+                return next(search.expand_from(job), None)  # type: ignore[arg-type]
+            except DecisionCancelled:
+                # The verdict settled elsewhere; this branch's work is moot.
+                return None
+
+        futures: List[Future] = [executor.submit(run_branch, job) for job in jobs]
+        with self._lock:
+            self.stats.tasks_dispatched += len(futures)
+        witness = None
+        budget_error: Optional[BudgetExceeded] = None
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                try:
+                    result = future.result()
+                except BudgetExceeded as exc:
+                    budget_error = exc
+                    budget.cancel()
+                    continue
+                if result is not None and witness is None:
+                    witness = result
+                    # Cooperative cancellation: one frozen dimension
+                    # settles satisfiability, the losers stop at their
+                    # next budget checkpoint.
+                    budget.cancel()
+                    with self._lock:
+                        self.stats.tasks_cancelled += len(pending)
+        if witness is None and budget_error is not None:
+            # Some branch ran out of budget and no other branch found a
+            # witness: "unsatisfiable" would be unsound, so re-raise.
+            raise budget_error
+        return DimsatResult(
+            satisfiable=witness is not None,
+            witness=witness,
+            stats=search.stats,
+            trace=search.trace,
+        )
+
+    def _implies_fanout(self, schema: DimensionSchema, node: Node) -> ImplicationResult:
+        root = validate_constraint(schema.hierarchy, node)
+        extended = schema.with_constraints([Not(node)])
+        result = self._dimsat_fanout(extended, root)
+        return ImplicationResult(
+            implied=not result.satisfiable,
+            counterexample=result.witness,
+            dimsat_result=result,
+        )
+
+    def _summarizable_fanout(
+        self,
+        schema: DimensionSchema,
+        target: Category,
+        sources: Tuple[Category, ...],
+    ) -> bool:
+        options = self.options
+        tests = [
+            (bottom, node)
+            for bottom, node in summarizability_constraints(
+                schema.hierarchy, target, sources
+            )
+            if bottom != ALL
+        ]
+        executor = self._get_executor() if self.mode == "thread" else None
+        if executor is None or len(tests) <= 1:
+            if executor is None:
+                self._note_fallback()
+            budget = self._fresh_budget()
+            return all(
+                is_implied(schema, node, options, cache=self.cache, budget=budget)
+                for _bottom, node in tests
+            )
+
+        budget = self._fresh_budget()
+
+        def run_bottom(node: Node) -> Optional[bool]:
+            try:
+                return is_implied(
+                    schema, node, options, cache=self.cache, budget=budget
+                )
+            except DecisionCancelled:
+                return None
+
+        futures = [executor.submit(run_bottom, node) for _bottom, node in tests]
+        with self._lock:
+            self.stats.tasks_dispatched += len(futures)
+        verdict = True
+        budget_error: Optional[BudgetExceeded] = None
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                try:
+                    implied = future.result()
+                except BudgetExceeded as exc:
+                    budget_error = exc
+                    budget.cancel()
+                    continue
+                if implied is False and verdict:
+                    verdict = False
+                    # One bottom category violates Theorem 1's implication:
+                    # the answer is "no" whatever the others say.
+                    budget.cancel()
+                    with self._lock:
+                        self.stats.tasks_cancelled += len(pending)
+        if verdict and budget_error is not None:
+            # Every finished bottom passed, but at least one was aborted:
+            # "yes" would be unsound.
+            raise budget_error
+        return verdict
+
+    # ------------------------------------------------------------------
+    # The batch API: request-level fan-out with cross-request dedup
+    # ------------------------------------------------------------------
+
+    def decide_many(
+        self,
+        items: Iterable[Tuple[DimensionSchema, Sequence[object]]],
+    ) -> List[bool]:
+        """Answer a batch of ``(schema, request)`` pairs.
+
+        Requests are normalized (see :func:`normalize_request`), deduped
+        by ``(schema fingerprint, canonical request)`` so each distinct
+        question is decided exactly once per batch, and the unique
+        decisions run concurrently on the pool (each inside its own fresh
+        budget).  Verdicts come back as booleans aligned with the input
+        order: satisfiable / implied / summarizable.
+
+        Requests inside a batch run the sequential kernel per worker -
+        batching parallelizes *across* requests; use the single-decision
+        methods for *intra*-decision fan-out.
+        """
+        pairs = [(schema, normalize_request(request)) for schema, request in items]
+        with self._lock:
+            self.stats.batch_requests += len(pairs)
+
+        unique: Dict[Tuple[str, RequestKey], List[int]] = {}
+        order: List[Tuple[Tuple[str, RequestKey], DimensionSchema, RequestKey]] = []
+        for index, (schema, key) in enumerate(pairs):
+            ukey = (schema.fingerprint(), key)
+            if ukey not in unique:
+                unique[ukey] = []
+                order.append((ukey, schema, key))
+            unique[ukey].append(index)
+        with self._lock:
+            self.stats.batch_deduped += len(pairs) - len(order)
+
+        verdicts: Dict[Tuple[str, RequestKey], bool] = {}
+        executor = self._get_executor()
+        if executor is None:
+            self._note_fallback()
+            for ukey, schema, key in order:
+                verdicts[ukey] = self._decide_sequential(schema, key)
+        elif self.mode == "process":
+            self._decide_many_process(executor, order, verdicts)
+        else:
+            futures = {
+                executor.submit(self._decide_sequential, schema, key): ukey
+                for ukey, schema, key in order
+            }
+            with self._lock:
+                self.stats.tasks_dispatched += len(futures)
+            for future, ukey in futures.items():
+                verdicts[ukey] = future.result()
+
+        return [verdicts[(schema.fingerprint(), key)] for schema, key in pairs]
+
+    def _decide_many_process(
+        self,
+        executor: Executor,
+        order: List[Tuple[Tuple[str, RequestKey], DimensionSchema, RequestKey]],
+        verdicts: Dict[Tuple[str, RequestKey], bool],
+    ) -> None:
+        """Dispatch a deduped batch to the process pool.
+
+        Schemas travel as canonical JSON text; workers re-intern them once
+        per fingerprint (see :func:`_process_decide`).  A broken pool
+        degrades to the in-process sequential path for the remaining
+        requests instead of failing the batch.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.io.json_io import schema_to_json
+
+        spec = self._budget_spec()
+        options = self.options
+        try:
+            futures = {
+                executor.submit(
+                    _process_decide,
+                    schema_to_json(schema),
+                    schema.fingerprint(),
+                    key,
+                    options,
+                    spec,
+                ): ukey
+                for ukey, schema, key in order
+            }
+            with self._lock:
+                self.stats.tasks_dispatched += len(futures)
+            for future, ukey in futures.items():
+                verdicts[ukey] = future.result()
+        except BrokenProcessPool:
+            with self._lock:
+                self._executor_failed = True
+            self._note_fallback()
+            for ukey, schema, key in order:
+                if ukey not in verdicts:
+                    verdicts[ukey] = self._decide_sequential(schema, key)
+
+    def _decide_sequential(self, schema: DimensionSchema, key: RequestKey) -> bool:
+        """One normalized request on the sequential kernel (runs inside a
+        pool worker in thread mode)."""
+        budget = (
+            self.budget_template.fresh() if self.budget_template is not None else None
+        )
+        return _decide(schema, key, self.options, self.cache, budget)
+
+
+# ----------------------------------------------------------------------
+# Request execution (shared by thread workers and process workers)
+# ----------------------------------------------------------------------
+
+
+def _decide(
+    schema: DimensionSchema,
+    key: RequestKey,
+    options: Optional[DimsatOptions],
+    cache: Optional[DecisionCache],
+    budget: Optional[DecisionBudget],
+) -> bool:
+    from repro.core.implication import is_category_satisfiable
+    from repro.core.summarizability import is_summarizable_in_schema
+
+    kind = key[0]
+    if kind == "dimsat":
+        return is_category_satisfiable(schema, key[1], options, cache, budget)
+    if kind == "implies":
+        return is_implied(schema, key[1], options, cache, budget)
+    if kind == "summarizable":
+        return is_summarizable_in_schema(
+            schema, key[1], key[2], options, cache, budget
+        )
+    raise ReproError(f"unknown decision request kind {kind!r}")  # pragma: no cover
+
+
+#: Worker-side schema memo: fingerprint -> re-interned schema.  Rebuilding
+#: a schema from JSON re-parses and hash-conses every constraint into the
+#: worker's intern table, so all the kernel's identity-keyed memos work;
+#: doing it once per fingerprint makes repeat traffic on a schema free.
+_WORKER_SCHEMAS: Dict[str, DimensionSchema] = {}
+
+
+def _process_decide(
+    schema_json: str,
+    fingerprint: str,
+    key: RequestKey,
+    options: Optional[DimsatOptions],
+    budget_spec: Optional[BudgetSpec],
+) -> bool:
+    """Decide one request inside a process-pool worker."""
+    from repro.core.decisioncache import default_decision_cache
+    from repro.io.json_io import schema_from_json
+
+    schema = _WORKER_SCHEMAS.get(fingerprint)
+    if schema is None:
+        schema = schema_from_json(schema_json)
+        _WORKER_SCHEMAS[fingerprint] = schema
+    budget = DecisionBudget.from_spec(budget_spec)
+    # Each worker keeps its own process-wide cache warm across requests.
+    return _decide(schema, key, options, default_decision_cache(), budget)

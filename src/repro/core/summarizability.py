@@ -30,6 +30,7 @@ from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.constraints.ast import FALSE, ExactlyOne, Implies, Node, RollsUpAtom, ThroughAtom
 from repro.constraints.semantics import satisfies
+from repro.core.budget import DecisionBudget
 from repro.core.decisioncache import USE_DEFAULT_CACHE, resolve_cache
 from repro.core.dimsat import DimsatOptions
 from repro.core.hierarchy import ALL, Category, HierarchySchema
@@ -99,6 +100,7 @@ def is_summarizable_in_schema(
     sources: Iterable[Category],
     options: Optional[DimsatOptions] = None,
     cache: object = USE_DEFAULT_CACHE,
+    budget: Optional[DecisionBudget] = None,
 ) -> bool:
     """Theorem 1 at the schema level: the constraint must be *implied*.
 
@@ -115,8 +117,8 @@ def is_summarizable_in_schema(
     _check_categories(schema.hierarchy, target, sources)
     resolved = resolve_cache(cache)
     if resolved is not None:
-        return resolved.is_summarizable(schema, target, sources, options)
-    return _is_summarizable_uncached(schema, target, sources, options, None)
+        return resolved.is_summarizable(schema, target, sources, options, budget)
+    return _is_summarizable_uncached(schema, target, sources, options, None, budget)
 
 
 def _is_summarizable_uncached(
@@ -125,6 +127,7 @@ def _is_summarizable_uncached(
     sources: Iterable[Category],
     options: Optional[DimsatOptions],
     implication_cache: object,
+    budget: Optional[DecisionBudget] = None,
 ) -> bool:
     """The Theorem 1 loop itself; per-bottom implication tests go through
     ``implication_cache`` so overlapping source sets share work."""
@@ -133,7 +136,7 @@ def _is_summarizable_uncached(
     ):
         if bottom == ALL:
             continue
-        if not is_implied(schema, node, options, cache=implication_cache):
+        if not is_implied(schema, node, options, cache=implication_cache, budget=budget):
             return False
     return True
 

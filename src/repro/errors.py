@@ -52,6 +52,18 @@ class ConstraintError(ReproError):
     """
 
 
+class BudgetExceeded(ReproError):
+    """A decision ran out of its :class:`~repro.core.budget.DecisionBudget`.
+
+    Raised when a per-decision node or wall-clock budget is exhausted
+    before the decision procedure reaches an answer.  The decision did
+    *not* produce a verdict - callers must treat the question as
+    undecided, never as a "no".  Caches are left verdict-clean: nothing
+    is memoized for an aborted decision, so re-asking with a larger
+    budget yields the correct answer.
+    """
+
+
 class OlapError(ReproError):
     """An error in the OLAP engine substrate (fact tables and cube views)."""
 

@@ -30,6 +30,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 from repro._types import Category
 from repro.core.decisioncache import USE_DEFAULT_CACHE
 from repro.core.instance import DimensionInstance
+from repro.core.parallel import ParallelDecisionEngine
 from repro.core.schema import DimensionSchema
 from repro.core.summarizability import (
     is_summarizable_in_instance,
@@ -89,6 +90,12 @@ class AggregateNavigator:
         A :class:`~repro.core.decisioncache.DecisionCache` for schema-level
         summarizability verdicts (default: the process-wide one); pass
         ``None`` to disable it.
+    engine:
+        Optional :class:`~repro.core.parallel.ParallelDecisionEngine`.
+        When set (and ``schema`` is given), the rewriting search batches
+        its candidate summarizability checks through
+        :meth:`~repro.core.parallel.ParallelDecisionEngine.decide_many`
+        instead of deciding them one by one.
     """
 
     def __init__(
@@ -98,6 +105,7 @@ class AggregateNavigator:
         max_rewrite_sources: int = 3,
         rewrites_only: bool = False,
         cache: object = USE_DEFAULT_CACHE,
+        engine: Optional[ParallelDecisionEngine] = None,
     ) -> None:
         self.facts = facts
         self.instance: DimensionInstance = facts.instance
@@ -105,6 +113,7 @@ class AggregateNavigator:
         self.max_rewrite_sources = max_rewrite_sources
         self.rewrites_only = rewrites_only
         self.cache = cache
+        self.engine = engine
         self.stats = NavigatorStats()
         self._views: Dict[Tuple[Category, str, str], CubeView] = {}
         # Verdicts are keyed by a *context* - the schema fingerprint for
@@ -222,6 +231,46 @@ class AggregateNavigator:
     # Rewriting search
     # ------------------------------------------------------------------
 
+    def summarizable_many(
+        self, queries: Iterable[Tuple[Category, Iterable[Category]]]
+    ) -> List[bool]:
+        """Batch-decide summarizability for many ``(target, sources)`` pairs.
+
+        With a schema and an engine attached, the uncached pairs go out as
+        one ``decide_many`` batch (deduped, concurrent); otherwise they are
+        decided one by one.  Either way every verdict lands in the
+        navigator's local caches, so a subsequent rewriting search finds
+        them for free.  Returns verdicts aligned with the input order.
+        """
+        pairs = [(target, frozenset(sources)) for target, sources in queries]
+        if self.schema is None or self.engine is None:
+            return [self._is_summarizable(target, s) for target, s in pairs]
+        context = self._verdict_context()
+        missing: List[Tuple[Category, FrozenSet[Category]]] = []
+        seen = set()
+        for target, sources in pairs:
+            key = (context, target, sources)
+            if key not in self._summarizable_cache and (target, sources) not in seen:
+                seen.add((target, sources))
+                missing.append((target, sources))
+        if missing:
+            requests = [
+                (self.schema, ("summarizable", target, tuple(sorted(sources))))
+                for target, sources in missing
+            ]
+            verdicts = self.engine.decide_many(requests)
+            for (target, sources), verdict in zip(missing, verdicts):
+                self.stats.summarizability_checks += 1
+                self._summarizable_cache[(context, target, sources)] = verdict
+                if verdict:
+                    self._proven_sources.setdefault((context, target), []).append(
+                        sources
+                    )
+        return [
+            self._summarizable_cache[(context, target, sources)]
+            for target, sources in pairs
+        ]
+
     def _is_summarizable(self, target: Category, sources: FrozenSet[Category]) -> bool:
         context = self._verdict_context()
         key = (context, target, sources)
@@ -279,6 +328,18 @@ class AggregateNavigator:
                 )
                 candidates.append((total, combo))
         candidates.sort()
+        if self.engine is not None and self.schema is not None and candidates:
+            # Batch every candidate check through the engine up front: the
+            # verdicts land in the local cache, so the cost-ordered loop
+            # below only does lookups.  (This trades the sequential path's
+            # first-hit early exit for one deduped concurrent batch.)
+            self.summarizable_many(
+                (target, combo)
+                for _total, combo in candidates
+                if not any(
+                    subset < frozenset(combo) for subset in proven
+                )
+            )
         for _total, combo in candidates:
             combo_set = frozenset(combo)
             if any(subset < combo_set for subset in proven):

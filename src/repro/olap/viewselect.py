@@ -31,6 +31,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 from repro._types import ALL, Category
 from repro.core.decisioncache import USE_DEFAULT_CACHE
 from repro.core.dimsat import DimsatOptions
+from repro.core.parallel import ParallelDecisionEngine
 from repro.core.schema import DimensionSchema
 from repro.core.summarizability import is_summarizable_in_schema
 from repro.errors import OlapError
@@ -104,11 +105,37 @@ class _SummarizabilityCache:
         schema: DimensionSchema,
         options: Optional[DimsatOptions],
         cache: object = USE_DEFAULT_CACHE,
+        engine: Optional[ParallelDecisionEngine] = None,
     ):
         self.schema = schema
         self.options = options
         self.cache = cache
+        self.engine = engine
         self._cache: Dict[Tuple[Category, FrozenSet[Category]], bool] = {}
+
+    def prefetch(self, pairs: Iterable[Tuple[Category, FrozenSet[Category]]]) -> None:
+        """Batch-decide ``(target, sources)`` pairs through the engine.
+
+        No-op without an engine.  Every verdict lands in the local dict, so
+        the selection loops afterwards only do lookups.
+        """
+        if self.engine is None:
+            return
+        missing: List[Tuple[Category, FrozenSet[Category]]] = []
+        seen = set()
+        for target, sources in pairs:
+            key = (target, sources)
+            if key not in self._cache and key not in seen:
+                seen.add(key)
+                missing.append(key)
+        if not missing:
+            return
+        requests = [
+            (self.schema, ("summarizable", target, tuple(sorted(sources))))
+            for target, sources in missing
+        ]
+        for key, verdict in zip(missing, self.engine.decide_many(requests)):
+            self._cache[key] = verdict
 
     def check(self, target: Category, sources: FrozenSet[Category]) -> bool:
         key = (target, sources)
@@ -155,10 +182,29 @@ def evaluate_selection(
     selected: Iterable[Category],
     options: Optional[DimsatOptions] = None,
     cache: object = USE_DEFAULT_CACHE,
+    engine: Optional[ParallelDecisionEngine] = None,
 ) -> Selection:
-    """Storage and weighted query cost of a concrete view set."""
+    """Storage and weighted query cost of a concrete view set.
+
+    With an ``engine``, every summarizability check the per-target plan
+    search may need goes out as one deduped ``decide_many`` batch first.
+    """
     chosen = frozenset(selected)
-    cache = _SummarizabilityCache(problem.schema, options, cache)
+    cache = _SummarizabilityCache(problem.schema, options, cache, engine)
+    if engine is not None:
+        hierarchy = problem.schema.hierarchy
+        pairs: List[Tuple[Category, FrozenSet[Category]]] = []
+        for target in problem.targets:
+            if target in chosen:
+                continue
+            below = sorted(
+                c for c in chosen if c != target and hierarchy.reaches(c, target)
+            )
+            limit = min(problem.max_rewrite_sources, len(below))
+            for size in range(1, limit + 1):
+                for combo in combinations(below, size):
+                    pairs.append((target, frozenset(combo)))
+        cache.prefetch(pairs)
     answerable: Dict[Category, Tuple[Category, ...]] = {}
     total = 0.0
     for target, weight in problem.targets.items():
@@ -178,9 +224,10 @@ def coverage(
     selected: Iterable[Category],
     options: Optional[DimsatOptions] = None,
     cache: object = USE_DEFAULT_CACHE,
+    engine: Optional[ParallelDecisionEngine] = None,
 ) -> Dict[Category, bool]:
     """Per-target verdict: answerable from the views without a base scan."""
-    evaluation = evaluate_selection(problem, selected, options, cache)
+    evaluation = evaluate_selection(problem, selected, options, cache, engine)
     return {
         target: bool(plan) for target, plan in evaluation.answerable.items()
     }
@@ -191,9 +238,10 @@ def is_sufficient(
     selected: Iterable[Category],
     options: Optional[DimsatOptions] = None,
     cache: object = USE_DEFAULT_CACHE,
+    engine: Optional[ParallelDecisionEngine] = None,
 ) -> bool:
     """Section 6's test: do the selected views suffice for all targets?"""
-    return all(coverage(problem, selected, options, cache).values())
+    return all(coverage(problem, selected, options, cache, engine).values())
 
 
 def greedy_select(
@@ -201,6 +249,7 @@ def greedy_select(
     storage_budget: int,
     options: Optional[DimsatOptions] = None,
     cache: object = USE_DEFAULT_CACHE,
+    engine: Optional[ParallelDecisionEngine] = None,
 ) -> Selection:
     """Benefit-per-cell greedy selection under a storage budget.
 
@@ -209,7 +258,7 @@ def greedy_select(
     reduction per stored cell, while it fits the budget and helps.
     """
     chosen: FrozenSet[Category] = frozenset()
-    current = evaluate_selection(problem, chosen, options, cache)
+    current = evaluate_selection(problem, chosen, options, cache, engine)
     while True:
         best_gain = 0.0
         best_candidate: Optional[Category] = None
@@ -220,7 +269,9 @@ def greedy_select(
             size = problem.size_of(candidate)
             if current.storage + size > storage_budget:
                 continue
-            trial = evaluate_selection(problem, chosen | {candidate}, options, cache)
+            trial = evaluate_selection(
+                problem, chosen | {candidate}, options, cache, engine
+            )
             gain = (current.query_cost - trial.query_cost) / max(1, size)
             if gain > best_gain:
                 best_gain = gain
@@ -237,6 +288,7 @@ def exhaustive_select(
     storage_budget: int,
     options: Optional[DimsatOptions] = None,
     cache: object = USE_DEFAULT_CACHE,
+    engine: Optional[ParallelDecisionEngine] = None,
 ) -> Selection:
     """Optimal selection by subset enumeration (small candidate sets).
 
@@ -255,7 +307,7 @@ def exhaustive_select(
             storage = sum(problem.size_of(c) for c in combo)
             if storage > storage_budget:
                 continue
-            trial = evaluate_selection(problem, combo, options, cache)
+            trial = evaluate_selection(problem, combo, options, cache, engine)
             key = (trial.query_cost, trial.storage, tuple(sorted(trial.categories)))
             if best is None or key < (
                 best.query_cost,

@@ -1,0 +1,162 @@
+"""Unit tests for the :class:`~repro.core.parallel.ParallelDecisionEngine`.
+
+The differential harness (:mod:`tests.test_differential`) covers verdict
+agreement on random schemas; this file pins down the engine's mechanics -
+request normalization, batch dedup accounting, fallback behaviour,
+lifecycle, witness validity under the branch race, and the DimsatStats
+regression (concurrent CHECK totals must equal the sequential run's).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.budget import DecisionBudget
+from repro.core.decisioncache import DecisionCache
+from repro.core.dimsat import dimsat
+from repro.core.parallel import ParallelDecisionEngine, normalize_request
+from repro.errors import ReproError, SchemaError
+from repro.generators.location import location_schema
+from repro.generators.random_schema import make_unsatisfiable
+
+
+@pytest.fixture()
+def schema():
+    return location_schema()
+
+
+class TestNormalizeRequest:
+    def test_dimsat(self):
+        assert normalize_request(("dimsat", "Store")) == ("dimsat", "Store")
+
+    def test_implies_canonicalizes_text(self):
+        from repro.constraints.parser import parse
+
+        text_key = normalize_request(("implies", "Store.City.Country"))
+        node_key = normalize_request(("implies", parse("Store.City.Country")))
+        assert text_key == node_key
+        assert text_key[0] == "implies" and isinstance(text_key[1], str)
+
+    def test_summarizable_sorts_and_dedups_sources(self):
+        a = normalize_request(("summarizable", "Country", ["State", "City", "City"]))
+        b = normalize_request(("summarizable", "Country", ("City", "State")))
+        assert a == b == ("summarizable", "Country", ("City", "State"))
+
+    def test_rejects_malformed_requests(self):
+        for bad in [(), ("dimsat",), ("implies",), ("summarizable", "X"), ("nope", 1)]:
+            with pytest.raises(ReproError):
+                normalize_request(bad)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ReproError):
+            ParallelDecisionEngine(mode="fibers")
+
+
+class TestBatchAPI:
+    def test_dedup_counts_and_alignment(self, schema):
+        with ParallelDecisionEngine(max_workers=4, cache=DecisionCache()) as engine:
+            batch = [
+                (schema, ("dimsat", "Store")),
+                (schema, ("dimsat", "City")),
+                (schema, ("dimsat", "Store")),
+                (schema, ("summarizable", "Country", ["City"])),
+                (schema, ("summarizable", "Country", ("City",))),
+            ]
+            verdicts = engine.decide_many(batch)
+            assert verdicts == [True, True, True, True, True]
+            assert engine.stats.batch_requests == 5
+            assert engine.stats.batch_deduped == 2
+            assert engine.stats.tasks_dispatched == 3
+
+    def test_cross_batch_dedup_via_cache(self, schema):
+        cache = DecisionCache()
+        with ParallelDecisionEngine(max_workers=4, cache=cache) as engine:
+            batch = [(schema, ("dimsat", "Store")), (schema, ("implies", "Store.City"))]
+            engine.decide_many(batch)
+            before = cache.stats.misses
+            engine.decide_many(batch)
+            # Second batch hits the decision cache: no new misses.
+            assert cache.stats.misses == before
+            assert cache.stats.hits >= 2
+
+    def test_rebuilt_equal_schema_shares_verdicts(self, schema):
+        from repro.io.json_io import schema_from_json, schema_to_json
+
+        rebuilt = schema_from_json(schema_to_json(schema))
+        assert rebuilt is not schema
+        with ParallelDecisionEngine(max_workers=2, cache=DecisionCache()) as engine:
+            batch = [
+                (schema, ("dimsat", "Store")),
+                (rebuilt, ("dimsat", "Store")),
+            ]
+            assert engine.decide_many(batch) == [True, True]
+            # Equal fingerprints dedupe across distinct schema objects.
+            assert engine.stats.batch_deduped == 1
+
+    def test_empty_batch(self, schema):
+        with ParallelDecisionEngine(max_workers=2) as engine:
+            assert engine.decide_many([]) == []
+
+    def test_uncached_engine(self, schema):
+        with ParallelDecisionEngine(max_workers=2, cache=None) as engine:
+            assert engine.is_satisfiable(schema, "Store") is True
+            assert engine.decide_many([(schema, ("dimsat", "Store"))]) == [True]
+
+
+class TestFallbackAndLifecycle:
+    def test_single_worker_runs_sequentially(self, schema):
+        with ParallelDecisionEngine(max_workers=1, cache=DecisionCache()) as engine:
+            assert engine.is_satisfiable(schema, "Store") is True
+            assert engine.decide_many([(schema, ("dimsat", "City"))]) == [True]
+            assert engine.stats.sequential_fallbacks >= 2
+            assert engine.stats.tasks_dispatched == 0
+
+    def test_shutdown_is_idempotent_and_degrades_gracefully(self, schema):
+        engine = ParallelDecisionEngine(max_workers=4, cache=DecisionCache())
+        assert engine.is_satisfiable(schema, "Store") is True
+        engine.shutdown()
+        engine.shutdown()
+        # A closed engine still answers, sequentially.
+        assert engine.is_satisfiable(schema, "City") is True
+        assert engine.stats.sequential_fallbacks >= 1
+
+    def test_unknown_category_raises_in_parallel_path(self, schema):
+        with ParallelDecisionEngine(max_workers=4, cache=None) as engine:
+            with pytest.raises(SchemaError):
+                engine.is_satisfiable(schema, "Galaxy")
+
+
+class TestWitnessValidity:
+    def test_parallel_witness_materializes(self, schema):
+        """Whichever branch wins the race, the witness must be a real
+        frozen dimension whose instance conforms to the schema."""
+        from repro.constraints.semantics import satisfies_all
+
+        with ParallelDecisionEngine(max_workers=4, cache=None) as engine:
+            for _ in range(5):
+                result = engine.dimsat(schema, "Store")
+                assert result.satisfiable
+                instance = result.witness.to_instance(schema)
+                assert satisfies_all(instance, schema.constraints)
+
+
+class TestStatsRegression:
+    def test_concurrent_check_totals_match_sequential(self, schema):
+        """Regression for the DimsatStats `+=` race: on an unsatisfiable
+        category every branch runs to exhaustion (no cancellation), so the
+        concurrent branches' shared counters must total exactly what the
+        sequential search counts.  With non-atomic increments this test
+        loses updates and the totals drift low."""
+        doomed = make_unsatisfiable(schema, "Store")
+        sequential = dimsat(doomed, "Store")
+        assert not sequential.satisfiable
+        with ParallelDecisionEngine(max_workers=8, cache=None) as engine:
+            for _ in range(3):
+                result = engine.dimsat(doomed, "Store")
+                assert not result.satisfiable
+                assert result.stats.expand_calls == sequential.stats.expand_calls
+                assert result.stats.check_calls == sequential.stats.check_calls
+                assert (
+                    result.stats.subhierarchies_completed
+                    == sequential.stats.subhierarchies_completed
+                )

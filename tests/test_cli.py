@@ -232,3 +232,42 @@ class TestCacheStats:
         captured = capsys.readouterr()
         assert "error" in captured.err
         assert "decision cache:" in captured.err
+
+
+class TestWorkersAndBudget:
+    def test_audit_with_workers(self, schema_file, capsys):
+        assert main(["--workers", "4", "audit", schema_file]) == 0
+        out = capsys.readouterr().out
+        assert "ok   Store" in out
+        assert "ok   All" in out
+
+    def test_implies_with_workers(self, schema_file, capsys):
+        assert main(["--workers", "2", "implies", schema_file, "Store -> City"]) == 0
+        assert "implied" in capsys.readouterr().out
+
+    def test_summarizable_with_workers(self, schema_file, capsys):
+        assert (
+            main(
+                ["--workers", "4", "summarizable", schema_file, "Country", "City"]
+            )
+            == 0
+        )
+        assert "yes" in capsys.readouterr().out
+
+    def test_exhausted_budget_exits_three(self, tmp_path, capsys):
+        # A fresh constraint set gives a fresh fingerprint, so the verdict
+        # cannot already sit in the process-wide decision cache (a cache
+        # hit would legitimately bypass the budget).
+        schema = location_schema().with_constraints(["City -> Province"])
+        path = tmp_path / "fresh.json"
+        path.write_text(schema_to_json(schema))
+        assert (
+            main(["--budget-ms", "1e-7", "satisfiable", str(path), "Store"]) == 3
+        )
+        assert "budget exceeded" in capsys.readouterr().err
+
+    def test_generous_budget_is_harmless(self, schema_file, capsys):
+        assert (
+            main(["--budget-ms", "60000", "satisfiable", schema_file, "Store"]) == 0
+        )
+        assert "satisfiable" in capsys.readouterr().out
