@@ -223,7 +223,14 @@ def _parallel_smoke(output_path, repeats=3):
     Verdicts must be byte-identical (compared on their canonical JSON
     encoding, which is what BENCH_2.json records); the gate fails below
     a 2x wall-clock speedup.
+
+    A final pass re-answers the batch with the trace layer enabled: its
+    verdicts must be byte-identical too (tracing observes, never
+    decides), and the per-span-name aggregates land in the report as
+    ``trace_summary``.
     """
+    from repro.core.trace import tracer, tracing
+
     batch = _batch_workload()
 
     start = time.perf_counter()
@@ -250,6 +257,19 @@ def _parallel_smoke(output_path, repeats=3):
             "parallel batch verdicts diverge from the sequential kernel"
         )
 
+    with tracing():
+        with ParallelDecisionEngine(
+            max_workers=4, cache=DecisionCache()
+        ) as engine:
+            traced_verdicts = engine.decide_many(batch)
+        trace_summary = tracer().summary()
+        trace_events = len(tracer().events())
+    traced_bytes = json.dumps(traced_verdicts).encode()
+    if traced_bytes != sequential_bytes:
+        raise AssertionError(
+            "verdicts changed when tracing was enabled"
+        )
+
     report = {
         "benchmark": "parallel batch decisions (random-schema workload)",
         "baseline": "per-request sequential kernel, uncached",
@@ -268,6 +288,11 @@ def _parallel_smoke(output_path, repeats=3):
             "batch_deduped": engine_stats.batch_deduped,
             "tasks_dispatched": engine_stats.tasks_dispatched,
         },
+        "tracing": {
+            "verdicts_identical": True,
+            "events": trace_events,
+        },
+        "trace_summary": trace_summary,
     }
     output_path.write_text(json.dumps(report, indent=2) + "\n")
     return report
@@ -285,6 +310,13 @@ def _main(argv=None):
         "--output",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_1.json"),
         help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--emit-metrics",
+        metavar="PATH",
+        default=None,
+        help="also write a JSON snapshot of the process-wide metrics "
+        "registry after the smoke runs",
     )
     args = parser.parse_args(argv)
     if not args.quick:
@@ -313,6 +345,21 @@ def _main(argv=None):
         print("FAIL: parallel batch speedup below 2x")
         return 1
     print("OK: parallel batch at or above 2x with identical verdicts")
+    hot = sorted(
+        parallel["trace_summary"].items(),
+        key=lambda kv: kv[1]["total_ms"],
+        reverse=True,
+    )[:5]
+    for name, row in hot:
+        print(
+            f"trace: {name:<28} count={row['count']:<6.0f}"
+            f" total={row['total_ms']:.1f} ms max={row['max_ms']:.3f} ms"
+        )
+    if args.emit_metrics:
+        from repro.core.metrics import emit_metrics
+
+        emit_metrics(args.emit_metrics)
+        print(f"metrics snapshot -> {args.emit_metrics}")
     return 0
 
 

@@ -54,12 +54,23 @@ class PaddingReport:
 
     @property
     def member_blowup(self) -> float:
-        """Padded member count relative to the original."""
+        """Padded member count relative to the original.
+
+        An empty instance needs no padding, so its blow-up is 1.0 (no
+        growth) rather than a division error.
+        """
+        if self.original_members == 0:
+            return 1.0
         return self.padded_members / self.original_members
 
     @property
     def null_fraction(self) -> float:
-        """Fraction of members in the padded instance that are nulls."""
+        """Fraction of members in the padded instance that are nulls.
+
+        0.0 for an empty instance: no members, so no nulls either.
+        """
+        if self.padded_members == 0:
+            return 0.0
         return self.null_members / self.padded_members
 
 
@@ -90,13 +101,11 @@ class _Padder:
             for parent in ps:
                 self.children.setdefault(parent, set()).add(member)
         # Categories of the ancestors any member of each category reaches.
-        self.required: Dict[Category, Set[Category]] = {
-            c: set() for c in self.hierarchy.categories
-        }
-        for member in instance.all_members():
-            category = self.category_of[member]
-            for ancestor in instance.ancestors_of(member):
-                self.required[category].add(instance.category_of(ancestor))
+        # Derived from the mutable graph (not the frozen instance) because
+        # it must be *re*-derived as padding mints new ancestries.
+        self.required: Dict[Category, Set[Category]] = {}
+        self._edges_added = 0
+        self._recompute_required()
 
     # -- dynamic graph helpers ------------------------------------------
 
@@ -125,8 +134,35 @@ class _Padder:
         return seen
 
     def add_edge(self, child: Member, parent: Member) -> None:
+        if parent not in self.parents[child]:
+            self._edges_added += 1
         self.parents[child].add(parent)
         self.children.setdefault(parent, set()).add(child)
+
+    def _recompute_required(self) -> None:
+        """Re-derive each category's ancestor-category requirements from
+        the *current* graph.
+
+        ``pad_chain`` routes through intermediate categories and mints
+        nulls there, so a requirement set computed once up-front goes
+        stale mid-run: the null's category gains an ancestor category
+        some of its real members never had, and those members must be
+        padded there too for the result to be homogeneous.
+        """
+        required: Dict[Category, Set[Category]] = {
+            c: set() for c in self.hierarchy.categories
+        }
+        for member, category in self.category_of.items():
+            seen: Set[Member] = set()
+            stack = list(self.parents[member])
+            while stack:
+                node = stack.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                required[category].add(self.category_of[node])
+                stack.extend(self.parents[node])
+        self.required = required
 
     # -- the padding walk ------------------------------------------------
 
@@ -199,17 +235,38 @@ class _Padder:
             current = node
 
     def run(self) -> DimensionInstance:
-        for category in _bottom_up(self.hierarchy):
-            # Iterate the *current* member set: nulls minted while padding
-            # lower categories live in upper categories and must be padded
-            # to the same requirements as their real siblings.
-            current = sorted(
-                (m for m, c in self.category_of.items() if c == category),
-                key=repr,
+        # Pad to a fixpoint.  A single bottom-up pass is not enough:
+        # padding routes through intermediate categories and mints nulls
+        # there, which enlarges those categories' requirement sets, which
+        # can oblige members padded *earlier* in the pass (or real members
+        # never revisited) to grow new ancestries.  Each pass re-derives
+        # the requirements from the current graph and re-pads everything;
+        # the run is stable when a full pass adds no edge.  Termination:
+        # a non-final pass strictly grows some requirement set, and the
+        # sum of their sizes is bounded by |categories|^2.
+        max_passes = 2 * len(self.hierarchy.categories) ** 2 + 4
+        for _ in range(max_passes):
+            edges_before = self._edges_added
+            self._recompute_required()
+            for category in _bottom_up(self.hierarchy):
+                # Iterate the *current* member set: nulls minted while
+                # padding lower categories live in upper categories and
+                # must be padded to the same requirements as their real
+                # siblings.
+                current = sorted(
+                    (m for m, c in self.category_of.items() if c == category),
+                    key=repr,
+                )
+                for member in current:
+                    for target in sorted(self.required[category]):
+                        self.pad_chain(member, target)
+            if self._edges_added == edges_before:
+                break
+        else:  # pragma: no cover - the bound is generous
+            raise SchemaError(
+                "homogenization did not reach a fixpoint within "
+                f"{max_passes} passes"
             )
-            for member in current:
-                for target in sorted(self.required[category]):
-                    self.pad_chain(member, target)
         self._repair_shortcuts()
         names = {m: self.instance.name(m) for m in self.instance.all_members()}
         edges = [

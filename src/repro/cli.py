@@ -36,6 +36,15 @@ Subcommands
     Satisfiability of one category, with the witness frozen dimension.
 ``dot SCHEMA``
     Emit the hierarchy as Graphviz DOT.
+``trace SCHEMA DECISION ARGS...``
+    Re-run one decision (``satisfiable``, ``implies`` or
+    ``summarizable``) with the trace layer enabled and print the verdict
+    together with every recorded span and event; ``--json`` emits the
+    raw trace document instead of the text rendering.
+
+The global ``--emit-metrics PATH`` flag writes a JSON snapshot of the
+process-wide metrics registry (counters, gauges, histograms) after any
+command, successful or not.
 """
 
 from __future__ import annotations
@@ -251,6 +260,72 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Re-run one decision with tracing on and show what the kernel did.
+
+    Caching is disabled for the traced run (``cache=None``) so the spans
+    cover the actual decision procedure, not a dictionary lookup.
+    """
+    from repro.core.trace import tracer, tracing
+
+    schema = _load_schema(args.schema)
+    budget = _budget_from_args(args)
+    with tracing():
+        if args.decision == "satisfiable":
+            if len(args.args) != 1:
+                raise ReproError("trace satisfiable needs exactly one CATEGORY")
+            result = dimsat(schema, args.args[0], budget=budget)
+            verdict = result.satisfiable
+        elif args.decision == "implies":
+            if len(args.args) != 1:
+                raise ReproError("trace implies needs exactly one CONSTRAINT")
+            result = implies(schema, args.args[0], cache=None, budget=budget)
+            verdict = result.implied
+        elif args.decision == "summarizable":
+            if len(args.args) < 2:
+                raise ReproError(
+                    "trace summarizable needs TARGET SOURCE [SOURCE ...]"
+                )
+            verdict = is_summarizable_in_schema(
+                schema, args.args[0], args.args[1:], cache=None, budget=budget
+            )
+        else:  # pragma: no cover - argparse choices forbid this
+            raise ReproError(f"unknown decision {args.decision!r}")
+        document = tracer().snapshot()
+    document["decision"] = [args.decision, *args.args]
+    document["verdict"] = bool(verdict)
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(f"verdict: {'yes' if verdict else 'no'}")
+        for span in document["spans"]:
+            indent = "  " * _span_depth(document["spans"], span)
+            attrs = ", ".join(
+                f"{k}={v}" for k, v in sorted(span["attrs"].items())
+            )
+            print(
+                f"{indent}{span['name']}  {span['duration_ms']:.3f} ms"
+                + (f"  [{attrs}]" if attrs else "")
+            )
+        for name, stats in sorted(document["summary"].items()):
+            print(
+                f"summary: {name}  count={stats['count']} "
+                f"total={stats['total_ms']:.3f} ms"
+            )
+    return 0 if verdict else 1
+
+
+def _span_depth(spans: List[dict], span: dict) -> int:
+    """Nesting depth of one span inside a snapshot's span list."""
+    by_id = {s["span_id"]: s for s in spans}
+    depth = 0
+    parent = span.get("parent_id")
+    while parent is not None and parent in by_id:
+        depth += 1
+        parent = by_id[parent].get("parent_id")
+    return depth
+
+
 def _cmd_satisfiable(args: argparse.Namespace) -> int:
     schema = _load_schema(args.schema)
     engine = _engine_from_args(args)
@@ -278,6 +353,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="after the command, print satisfiability-kernel cache "
         "statistics (decision cache, circle-operator cache, interned "
         "nodes) to stderr",
+    )
+    parser.add_argument(
+        "--emit-metrics",
+        metavar="PATH",
+        default=None,
+        help="after the command, write a JSON snapshot of the process-wide "
+        "metrics registry (counters, gauges, histograms) to PATH",
     )
     parser.add_argument(
         "--workers",
@@ -367,6 +449,28 @@ def build_parser() -> argparse.ArgumentParser:
     sat.add_argument("category")
     sat.set_defaults(handler=_cmd_satisfiable)
 
+    trace = sub.add_parser(
+        "trace",
+        help="re-run one decision with tracing enabled and print the "
+        "recorded spans and events",
+    )
+    trace.add_argument("schema")
+    trace.add_argument(
+        "decision", choices=("satisfiable", "implies", "summarizable")
+    )
+    trace.add_argument(
+        "args",
+        nargs="+",
+        help="decision arguments: CATEGORY, CONSTRAINT, or "
+        "TARGET SOURCE [SOURCE ...]",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw trace document as JSON instead of text",
+    )
+    trace.set_defaults(handler=_cmd_trace)
+
     return parser
 
 
@@ -389,6 +493,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.core.decisioncache import default_decision_cache
 
             print(default_decision_cache().report(), file=sys.stderr)
+        if getattr(args, "emit_metrics", None):
+            from repro.core.metrics import emit_metrics
+
+            emit_metrics(args.emit_metrics)
 
 
 if __name__ == "__main__":

@@ -50,7 +50,14 @@ from repro.core.implication import (
     unsatisfiable_categories,
 )
 from repro.core.instance import TOP_MEMBER, DimensionInstance, Member
+from repro.core.metrics import (
+    METRICS,
+    MetricsRegistry,
+    emit_metrics,
+    metrics_registry,
+)
 from repro.core.parallel import EngineStats, ParallelDecisionEngine, normalize_request
+from repro.core.trace import TRACER, Tracer, tracer, tracing
 from repro.core.normalize import (
     implied_into_edges,
     minimize,
@@ -94,8 +101,10 @@ __all__ = [
     "HierarchySchema",
     "ImplicationResult",
     "InstanceBuilder",
+    "METRICS",
     "Member",
     "MemberDiagnosis",
+    "MetricsRegistry",
     "SummarizabilityExplanation",
     "NK",
     "ParallelDecisionEngine",
@@ -104,13 +113,16 @@ __all__ = [
     "SearchBudgetExceeded",
     "Subhierarchy",
     "TOP_MEMBER",
+    "TRACER",
     "TraceEntry",
+    "Tracer",
     "USE_DEFAULT_CACHE",
     "circle",
     "circle_cache",
     "circle_node",
     "default_decision_cache",
     "dimsat",
+    "emit_metrics",
     "enumerate_frozen_dimensions",
     "equivalent",
     "explain_summarizability_in_instance",
@@ -122,6 +134,7 @@ __all__ = [
     "is_implied",
     "is_summarizable_in_instance",
     "is_summarizable_in_schema",
+    "metrics_registry",
     "minimize",
     "normalize_request",
     "phi",
@@ -140,5 +153,7 @@ __all__ = [
     "summarizability_constraints",
     "summarizability_matrix",
     "summarizable_sets",
+    "tracer",
+    "tracing",
     "unsatisfiable_categories",
 ]

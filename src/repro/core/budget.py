@@ -28,7 +28,16 @@ import threading
 import time
 from typing import Optional, Tuple
 
+from repro.core.metrics import METRICS
 from repro.errors import BudgetExceeded, ReproError
+
+#: Consumption metrics, updated only at decision boundaries (exhaustion,
+#: cancellation, :meth:`DecisionBudget.publish`) - never inside the hot
+#: per-node ``charge`` checkpoint.
+_M_EXCEEDED = METRICS.counter("budget.exceeded")
+_M_CANCELLED = METRICS.counter("budget.cancelled")
+_G_LAST_NODES = METRICS.gauge("budget.last_nodes_charged")
+_H_NODES = METRICS.histogram("budget.nodes_per_decision")
 
 
 class DecisionCancelled(ReproError):
@@ -99,16 +108,21 @@ class DecisionBudget:
         if self._cancel.is_set():
             raise DecisionCancelled("decision branch cancelled")
         if self._deadline is not None and time.monotonic() > self._deadline:
+            self.publish()
+            _M_EXCEEDED.inc()
             raise BudgetExceeded(
                 f"decision exceeded its time budget of {self.time_ms} ms"
             )
         if self.max_nodes is not None:
             with self._lock:
                 self._nodes += nodes
-                if self._nodes > self.max_nodes:
-                    raise BudgetExceeded(
-                        f"decision exceeded its node budget of {self.max_nodes}"
-                    )
+                over = self._nodes > self.max_nodes
+            if over:
+                self.publish()
+                _M_EXCEEDED.inc()
+                raise BudgetExceeded(
+                    f"decision exceeded its node budget of {self.max_nodes}"
+                )
         else:
             with self._lock:
                 self._nodes += nodes
@@ -120,6 +134,8 @@ class DecisionBudget:
     def cancel(self) -> None:
         """Tell every branch sharing this budget to stop at its next
         checkpoint."""
+        if not self._cancel.is_set():
+            _M_CANCELLED.inc()
         self._cancel.set()
 
     @property
@@ -134,6 +150,16 @@ class DecisionBudget:
     def nodes_charged(self) -> int:
         """Total nodes charged so far (across every branch)."""
         return self._nodes
+
+    def publish(self) -> None:
+        """Record this budget's consumption in the process-wide metrics
+        (``budget.last_nodes_charged`` gauge and
+        ``budget.nodes_per_decision`` histogram).  Called automatically
+        when a ceiling is hit and by the parallel engine when a budgeted
+        decision finishes."""
+        nodes = self._nodes
+        _G_LAST_NODES.set(nodes)
+        _H_NODES.observe(nodes)
 
     def spec(self) -> BudgetSpec:
         """The picklable ``(max_nodes, time_ms)`` description."""

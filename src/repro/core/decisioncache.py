@@ -32,6 +32,16 @@ from dataclasses import asdict, astuple, dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, Optional, Tuple
 
 from repro._types import Category
+from repro.core.metrics import METRICS
+from repro.core.trace import TRACER
+
+#: Process-wide counters aggregating every :class:`DecisionCache`
+#: instance; the per-instance :class:`DecisionCacheStats` stays as the
+#: compatibility view older callers read.
+_M_HITS = METRICS.counter("decision_cache.hits")
+_M_MISSES = METRICS.counter("decision_cache.misses")
+_M_EVICTIONS = METRICS.counter("decision_cache.evictions")
+_M_INVALIDATIONS = METRICS.counter("decision_cache.invalidations")
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.budget import DecisionBudget
@@ -111,21 +121,32 @@ class DecisionCache:
         """Return the cached value for ``(schema.fingerprint(),) + key``,
         computing and storing it on a miss."""
         full_key = (schema.fingerprint(),) + key
+        miss = object()
         with self._lock:
-            if full_key in self._data:
+            hit_value = self._data.get(full_key, miss)
+            if hit_value is not miss:
                 self.stats.hits += 1
-                return self._data[full_key]
-            # Count the miss before computing: hits + misses then equals
-            # the number of lookups even when ``compute`` raises (a budget
-            # abort or cancellation), which also guarantees the aborted
-            # decision leaves no entry behind.
-            self.stats.misses += 1
+            else:
+                # Count the miss before computing: hits + misses then
+                # equals the number of lookups even when ``compute``
+                # raises (a budget abort or cancellation), which also
+                # guarantees the aborted decision leaves no entry behind.
+                self.stats.misses += 1
+        if TRACER.enabled:
+            TRACER.event(
+                "decision_cache.lookup", kind=str(key[0]), hit=hit_value is not miss
+            )
+        if hit_value is not miss:
+            _M_HITS.inc()
+            return hit_value
+        _M_MISSES.inc()
         value = compute()
         with self._lock:
             if full_key not in self._data:
                 if len(self._data) >= self.max_entries:
                     self._data.pop(next(iter(self._data)))
                     self.stats.evictions += 1
+                    _M_EVICTIONS.inc()
                 self._data[full_key] = value
         return value
 
@@ -229,6 +250,10 @@ class DecisionCache:
             for k in doomed:
                 del self._data[k]
             self.stats.invalidations += len(doomed)
+        if doomed:
+            _M_INVALIDATIONS.inc(len(doomed))
+        if TRACER.enabled:
+            TRACER.event("decision_cache.invalidate", entries=len(doomed))
         return len(doomed)
 
     def clear(self) -> None:

@@ -63,8 +63,18 @@ from repro.constraints.simplify import evaluate, simplify, substitute
 from repro.core.budget import DecisionBudget
 from repro.core.frozen import FrozenDimension, Subhierarchy
 from repro.core.hierarchy import ALL, Category, HierarchySchema
+from repro.core.metrics import METRICS
 from repro.core.schema import NK, DimensionSchema
+from repro.core.trace import TRACER
 from repro.errors import BudgetExceeded, SchemaError
+
+#: Pre-resolved decision counter (a module attribute read is cheaper
+#: than a registry lookup per decision).  The circle-cache hit/miss
+#: metrics are *derived* - the cache keeps exact counts under its own
+#: lock, and the registry reads them at snapshot time, so the
+#: per-reduction hot path pays nothing extra (see the registration after
+#: the cache singleton below).
+_M_DECISIONS = METRICS.counter("dimsat.decisions")
 
 
 # ----------------------------------------------------------------------
@@ -305,6 +315,8 @@ class CircleCache:
                 self.hits += 1
             else:
                 self.misses += 1
+        if TRACER.enabled:
+            TRACER.event("dimsat.circle_cache", hit=cached is not None)
         if cached is not None:
             if stats is not None:
                 stats.incr("circle_hits")
@@ -338,6 +350,9 @@ class CircleCache:
 
 
 _CIRCLE_CACHE = CircleCache()
+
+METRICS.register_derived("circle_cache.hits", lambda: _CIRCLE_CACHE.hits)
+METRICS.register_derived("circle_cache.misses", lambda: _CIRCLE_CACHE.misses)
 
 
 def circle_cache() -> CircleCache:
@@ -667,23 +682,39 @@ class _Search:
             self.stats.incr("check_calls")
             self.stats.incr("subhierarchies_completed")
             sub = state.to_subhierarchy()
-            produced = False
             need_structure = not (
                 self.options.cycle_pruning and self.options.shortcut_pruning
             )
-            for frozen in induced_frozen_dimensions(
+            induced = induced_frozen_dimensions(
                 self.schema,
                 self.category,
                 sub,
                 stats=self.stats,
                 require_structure=need_structure,
                 cache=self.circle_cache,
-            ):
-                produced = True
+            )
+            # One span per CHECK branch (Proposition 2 applied to one
+            # complete subhierarchy): the unit of work a slow DIMSAT call
+            # decomposes into.  The span times the verdict for this
+            # subhierarchy (reduction + first-witness search); it closes
+            # before yielding so a caller stopping at the first witness
+            # cannot hold it open.
+            with TRACER.span(
+                "dimsat.check",
+                root=self.category,
+                categories=len(sub.categories),
+                edges=len(sub.edges),
+            ) as span:
+                first = next(induced, None)
+                span.set(succeeded=first is not None)
+            if first is None:
+                self._record("check", state, None, (), succeeded=False)
+                return
+            self._record("check", state, None, (), succeeded=True)
+            yield first
+            for frozen in induced:
                 self._record("check", state, None, (), succeeded=True)
                 yield frozen
-            if not produced:
-                self._record("check", state, None, (), succeeded=False)
             return
 
         for job in self._branch_jobs(state):
@@ -795,7 +826,14 @@ def dimsat(
     if category == ALL:
         return _trivial_all_result(options)
     search = _Search(schema, category, options, budget=budget)
-    witness = next(search.run(), None)
+    with TRACER.span("dimsat.decide", category=category) as span:
+        witness = next(search.run(), None)
+        span.set(
+            satisfiable=witness is not None,
+            expand_calls=search.stats.expand_calls,
+            check_calls=search.stats.check_calls,
+        )
+    _M_DECISIONS.inc()
     return DimsatResult(
         satisfiable=witness is not None,
         witness=witness,

@@ -30,8 +30,12 @@ from repro.core.dimsat import DimsatOptions, DimsatResult, dimsat
 from repro.core.frozen import FrozenDimension
 from repro.core.hierarchy import ALL, Category
 from repro.core.instance import DimensionInstance
+from repro.core.metrics import METRICS
 from repro.core.schema import DimensionSchema
+from repro.core.trace import TRACER
 from repro.errors import ConstraintError
+
+_M_DECISIONS = METRICS.counter("implication.decisions")
 
 
 @dataclass
@@ -112,8 +116,15 @@ def implies(
     if root == ALL:  # pragma: no cover - validate_constraint already rejects
         raise ConstraintError("constraints rooted at All are not allowed")
 
-    extended = schema.with_constraints([Not(node)])
-    result = dimsat(extended, root, options, budget)
+    # The Theorem 2 reduction: ds |= alpha iff root(alpha) is
+    # unsatisfiable in (G, SIGMA | {NOT alpha}).  The span wraps the
+    # whole refutation search, so the nested dimsat.decide/dimsat.check
+    # spans attribute its cost.
+    with TRACER.span("implication.decide", root=root) as span:
+        extended = schema.with_constraints([Not(node)])
+        result = dimsat(extended, root, options, budget)
+        span.set(implied=not result.satisfiable)
+    _M_DECISIONS.inc()
     return ImplicationResult(
         implied=not result.satisfiable,
         counterexample=result.witness,

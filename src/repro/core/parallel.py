@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from concurrent.futures import (
     Executor,
     FIRST_COMPLETED,
@@ -88,7 +89,9 @@ from repro.core.dimsat import (
     dimsat,
 )
 from repro.core.implication import ImplicationResult, is_implied
+from repro.core.metrics import METRICS
 from repro.core.schema import DimensionSchema
+from repro.core.trace import TRACER
 from repro.core.summarizability import (
     _check_categories,
     summarizability_constraints,
@@ -105,6 +108,13 @@ RequestKey = Tuple[Any, ...]
 
 #: Request kinds ``decide_many`` understands.
 REQUEST_KINDS = ("dimsat", "implies", "summarizable")
+
+#: Time from task submission to the moment a worker picks it up - the
+#: pool's congestion signal (milliseconds).
+_H_QUEUE_WAIT = METRICS.histogram("engine.queue_wait_ms")
+_M_DISPATCHED = METRICS.counter("engine.tasks_dispatched")
+_M_CANCELLED = METRICS.counter("engine.tasks_cancelled")
+_M_DEDUPED = METRICS.counter("engine.batch_deduped")
 
 
 def normalize_request(request: Sequence[object]) -> RequestKey:
@@ -347,7 +357,10 @@ class ParallelDecisionEngine:
                 satisfiable=False, witness=None, stats=search.stats, trace=search.trace
             )
 
+        submitted = time.perf_counter()
+
         def run_branch(job: Tuple[object, ...]) -> object:
+            _H_QUEUE_WAIT.observe((time.perf_counter() - submitted) * 1000.0)
             try:
                 return next(search.expand_from(job), None)  # type: ignore[arg-type]
             except DecisionCancelled:
@@ -357,6 +370,11 @@ class ParallelDecisionEngine:
         futures: List[Future] = [executor.submit(run_branch, job) for job in jobs]
         with self._lock:
             self.stats.tasks_dispatched += len(futures)
+        _M_DISPATCHED.inc(len(futures))
+        if TRACER.enabled:
+            TRACER.event(
+                "engine.dispatch", kind="dimsat", category=category, tasks=len(futures)
+            )
         witness = None
         budget_error: Optional[BudgetExceeded] = None
         pending = set(futures)
@@ -377,10 +395,16 @@ class ParallelDecisionEngine:
                     budget.cancel()
                     with self._lock:
                         self.stats.tasks_cancelled += len(pending)
+                    _M_CANCELLED.inc(len(pending))
+                    if TRACER.enabled and pending:
+                        TRACER.event(
+                            "engine.cancel", kind="dimsat", losers=len(pending)
+                        )
         if witness is None and budget_error is not None:
             # Some branch ran out of budget and no other branch found a
             # witness: "unsatisfiable" would be unsound, so re-raise.
             raise budget_error
+        budget.publish()
         return DimsatResult(
             satisfiable=witness is not None,
             witness=witness,
@@ -423,8 +447,10 @@ class ParallelDecisionEngine:
             )
 
         budget = self._fresh_budget()
+        submitted = time.perf_counter()
 
         def run_bottom(node: Node) -> Optional[bool]:
+            _H_QUEUE_WAIT.observe((time.perf_counter() - submitted) * 1000.0)
             try:
                 return is_implied(
                     schema, node, options, cache=self.cache, budget=budget
@@ -435,6 +461,14 @@ class ParallelDecisionEngine:
         futures = [executor.submit(run_bottom, node) for _bottom, node in tests]
         with self._lock:
             self.stats.tasks_dispatched += len(futures)
+        _M_DISPATCHED.inc(len(futures))
+        if TRACER.enabled:
+            TRACER.event(
+                "engine.dispatch",
+                kind="summarizable",
+                target=target,
+                tasks=len(futures),
+            )
         verdict = True
         budget_error: Optional[BudgetExceeded] = None
         pending = set(futures)
@@ -454,10 +488,16 @@ class ParallelDecisionEngine:
                     budget.cancel()
                     with self._lock:
                         self.stats.tasks_cancelled += len(pending)
+                    _M_CANCELLED.inc(len(pending))
+                    if TRACER.enabled and pending:
+                        TRACER.event(
+                            "engine.cancel", kind="summarizable", losers=len(pending)
+                        )
         if verdict and budget_error is not None:
             # Every finished bottom passed, but at least one was aborted:
             # "yes" would be unsound.
             raise budget_error
+        budget.publish()
         return verdict
 
     # ------------------------------------------------------------------
@@ -493,8 +533,14 @@ class ParallelDecisionEngine:
                 unique[ukey] = []
                 order.append((ukey, schema, key))
             unique[ukey].append(index)
+        deduped = len(pairs) - len(order)
         with self._lock:
-            self.stats.batch_deduped += len(pairs) - len(order)
+            self.stats.batch_deduped += deduped
+        _M_DEDUPED.inc(deduped)
+        if TRACER.enabled:
+            TRACER.event(
+                "engine.batch", requests=len(pairs), unique=len(order), deduped=deduped
+            )
 
         verdicts: Dict[Tuple[str, RequestKey], bool] = {}
         executor = self._get_executor()
@@ -505,12 +551,19 @@ class ParallelDecisionEngine:
         elif self.mode == "process":
             self._decide_many_process(executor, order, verdicts)
         else:
+            submitted = time.perf_counter()
+
+            def run_request(schema: DimensionSchema, key: RequestKey) -> bool:
+                _H_QUEUE_WAIT.observe((time.perf_counter() - submitted) * 1000.0)
+                return self._decide_sequential(schema, key)
+
             futures = {
-                executor.submit(self._decide_sequential, schema, key): ukey
+                executor.submit(run_request, schema, key): ukey
                 for ukey, schema, key in order
             }
             with self._lock:
                 self.stats.tasks_dispatched += len(futures)
+            _M_DISPATCHED.inc(len(futures))
             for future, ukey in futures.items():
                 verdicts[ukey] = future.result()
 

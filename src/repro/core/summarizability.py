@@ -36,8 +36,12 @@ from repro.core.dimsat import DimsatOptions
 from repro.core.hierarchy import ALL, Category, HierarchySchema
 from repro.core.implication import is_implied
 from repro.core.instance import DimensionInstance
+from repro.core.metrics import METRICS
 from repro.core.schema import DimensionSchema
+from repro.core.trace import TRACER
 from repro.errors import SchemaError
+
+_M_DECISIONS = METRICS.counter("summarizability.decisions")
 
 
 def summarizability_constraint(
@@ -131,13 +135,28 @@ def _is_summarizable_uncached(
 ) -> bool:
     """The Theorem 1 loop itself; per-bottom implication tests go through
     ``implication_cache`` so overlapping source sets share work."""
-    for bottom, node in summarizability_constraints(
-        schema.hierarchy, target, sources
-    ):
-        if bottom == ALL:
-            continue
-        if not is_implied(schema, node, options, cache=implication_cache, budget=budget):
-            return False
+    _M_DECISIONS.inc()
+    with TRACER.span(
+        "summarizability.decide", target=target, sources=sorted(sources)
+    ) as outer:
+        for bottom, node in summarizability_constraints(
+            schema.hierarchy, target, sources
+        ):
+            if bottom == ALL:
+                continue
+            # One span per bottom category: Theorem 1 is one implication
+            # test per bottom, and this is where a slow verdict's time goes.
+            with TRACER.span(
+                "summarizability.bottom", bottom=bottom, target=target
+            ) as span:
+                implied = is_implied(
+                    schema, node, options, cache=implication_cache, budget=budget
+                )
+                span.set(implied=implied)
+            if not implied:
+                outer.set(summarizable=False)
+                return False
+        outer.set(summarizable=True)
     return True
 
 

@@ -30,6 +30,8 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 from repro._types import Category
 from repro.core.decisioncache import USE_DEFAULT_CACHE
 from repro.core.instance import DimensionInstance
+from repro.core.metrics import METRICS
+from repro.core.trace import TRACER
 from repro.core.parallel import ParallelDecisionEngine
 from repro.core.schema import DimensionSchema
 from repro.core.summarizability import (
@@ -40,6 +42,8 @@ from repro.errors import NavigationError, OlapError
 from repro.olap.aggregates import AggregateFunction
 from repro.olap.cubeview import CubeView, cube_view, recombine
 from repro.olap.facttable import FactTable
+
+_M_QUERIES = METRICS.counter("navigator.queries")
 
 
 @dataclass(frozen=True)
@@ -199,6 +203,21 @@ class AggregateNavigator:
 
         Returns the view together with the plan that produced it.
         """
+        # Per-query span: which plan answered, at what row cost, and (via
+        # the nested summarizability/implication/dimsat spans) where a
+        # slow rewriting search spent its time.
+        with TRACER.span(
+            "navigator.answer", category=category, aggregate=aggregate.name
+        ) as span:
+            view, plan = self._answer(category, aggregate, measure)
+            span.set(plan=plan.kind, cost=plan.cost)
+        _M_QUERIES.inc()
+        METRICS.counter(f"navigator.plan.{plan.kind}").inc()
+        return view, plan
+
+    def _answer(
+        self, category: Category, aggregate: AggregateFunction, measure: str
+    ) -> Tuple[CubeView, QueryPlan]:
         self.stats.queries += 1
         key = (category, aggregate.name, measure)
         stored = self._views.get(key)

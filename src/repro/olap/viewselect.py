@@ -34,6 +34,7 @@ from repro.core.dimsat import DimsatOptions
 from repro.core.parallel import ParallelDecisionEngine
 from repro.core.schema import DimensionSchema
 from repro.core.summarizability import is_summarizable_in_schema
+from repro.core.trace import TRACER
 from repro.errors import OlapError
 
 
@@ -190,32 +191,38 @@ def evaluate_selection(
     search may need goes out as one deduped ``decide_many`` batch first.
     """
     chosen = frozenset(selected)
-    cache = _SummarizabilityCache(problem.schema, options, cache, engine)
-    if engine is not None:
-        hierarchy = problem.schema.hierarchy
-        pairs: List[Tuple[Category, FrozenSet[Category]]] = []
-        for target in problem.targets:
-            if target in chosen:
-                continue
-            below = sorted(
-                c for c in chosen if c != target and hierarchy.reaches(c, target)
-            )
-            limit = min(problem.max_rewrite_sources, len(below))
-            for size in range(1, limit + 1):
-                for combo in combinations(below, size):
-                    pairs.append((target, frozenset(combo)))
-        cache.prefetch(pairs)
-    answerable: Dict[Category, Tuple[Category, ...]] = {}
-    total = 0.0
-    for target, weight in problem.targets.items():
-        plan = _cheapest_plan(problem, cache, target, chosen)
-        if plan is None:
-            answerable[target] = ()
-            total += weight * problem.base_size
-        else:
-            answerable[target] = plan[0]
-            total += weight * plan[1]
-    storage = sum(problem.size_of(c) for c in chosen)
+    # Per-evaluation span: one trial of the greedy/exhaustive selectors,
+    # with the nested summarizability spans attributing its cost.
+    with TRACER.span(
+        "viewselect.evaluate", views=sorted(chosen), targets=len(problem.targets)
+    ) as span:
+        cache = _SummarizabilityCache(problem.schema, options, cache, engine)
+        if engine is not None:
+            hierarchy = problem.schema.hierarchy
+            pairs: List[Tuple[Category, FrozenSet[Category]]] = []
+            for target in problem.targets:
+                if target in chosen:
+                    continue
+                below = sorted(
+                    c for c in chosen if c != target and hierarchy.reaches(c, target)
+                )
+                limit = min(problem.max_rewrite_sources, len(below))
+                for size in range(1, limit + 1):
+                    for combo in combinations(below, size):
+                        pairs.append((target, frozenset(combo)))
+            cache.prefetch(pairs)
+        answerable: Dict[Category, Tuple[Category, ...]] = {}
+        total = 0.0
+        for target, weight in problem.targets.items():
+            plan = _cheapest_plan(problem, cache, target, chosen)
+            if plan is None:
+                answerable[target] = ()
+                total += weight * problem.base_size
+            else:
+                answerable[target] = plan[0]
+                total += weight * plan[1]
+        storage = sum(problem.size_of(c) for c in chosen)
+        span.set(query_cost=total, storage=storage)
     return Selection(chosen, storage, total, answerable)
 
 
@@ -257,30 +264,38 @@ def greedy_select(
     repeatedly materializes the candidate with the highest query-cost
     reduction per stored cell, while it fits the budget and helps.
     """
-    chosen: FrozenSet[Category] = frozenset()
-    current = evaluate_selection(problem, chosen, options, cache, engine)
-    while True:
-        best_gain = 0.0
-        best_candidate: Optional[Category] = None
-        best_eval: Optional[Selection] = None
-        for candidate in problem.candidates():
-            if candidate in chosen:
-                continue
-            size = problem.size_of(candidate)
-            if current.storage + size > storage_budget:
-                continue
-            trial = evaluate_selection(
-                problem, chosen | {candidate}, options, cache, engine
-            )
-            gain = (current.query_cost - trial.query_cost) / max(1, size)
-            if gain > best_gain:
-                best_gain = gain
-                best_candidate = candidate
-                best_eval = trial
-        if best_candidate is None or best_eval is None:
-            return current
-        chosen = chosen | {best_candidate}
-        current = best_eval
+    with TRACER.span(
+        "viewselect.greedy",
+        candidates=len(problem.candidates()),
+        budget=storage_budget,
+    ) as span:
+        chosen: FrozenSet[Category] = frozenset()
+        current = evaluate_selection(problem, chosen, options, cache, engine)
+        rounds = 0
+        while True:
+            best_gain = 0.0
+            best_candidate: Optional[Category] = None
+            best_eval: Optional[Selection] = None
+            for candidate in problem.candidates():
+                if candidate in chosen:
+                    continue
+                size = problem.size_of(candidate)
+                if current.storage + size > storage_budget:
+                    continue
+                trial = evaluate_selection(
+                    problem, chosen | {candidate}, options, cache, engine
+                )
+                gain = (current.query_cost - trial.query_cost) / max(1, size)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_candidate = candidate
+                    best_eval = trial
+            if best_candidate is None or best_eval is None:
+                span.set(rounds=rounds, selected=sorted(current.categories))
+                return current
+            rounds += 1
+            chosen = chosen | {best_candidate}
+            current = best_eval
 
 
 def exhaustive_select(

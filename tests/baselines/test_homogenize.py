@@ -5,9 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.baselines import homogenize, is_null_member, padding_report
+from repro.baselines.homogenize import PaddingReport
 from repro.core import ALL, DimensionInstance, HierarchySchema
 from repro.core.rollup import reached_categories
 from repro.errors import SchemaError
+from repro.generators.random_schema import RandomSchemaConfig, random_schema
+from repro.generators.workloads import instance_from_frozen
 from repro.olap import SUM, FactTable, cube_view, recombine, views_equal
 
 
@@ -94,6 +97,64 @@ class TestHomogenize:
             homogenize(d)
 
 
+class TestRequiredFixpoint:
+    """Regression: requirements must be re-derived to a fixpoint.
+
+    ``pad_chain`` routes through intermediate categories and mints nulls
+    there, so the per-category requirement sets computed once up-front go
+    stale mid-run: a null minted in an intermediate category carries an
+    ancestor category some of its real siblings never reach, and a single
+    bottom-up pass leaves those siblings unpadded - a *heterogeneous*
+    "homogenized" instance.
+    """
+
+    #: Deterministic falsifier (7 categories / 6 constraints / 18
+    #: members).  Before the fixpoint fix, category c1 of the padded
+    #: result carried two ancestor signatures ({All,c5} and {All,c2,c5}).
+    CONFIG = RandomSchemaConfig(
+        n_categories=6,
+        n_layers=3,
+        extra_edge_prob=0.4,
+        into_fraction=0.5,
+        choice_constraint_prob=0.7,
+        seed=880,
+    )
+
+    def _pinned_instance(self):
+        schema = random_schema(self.CONFIG)
+        bottom = sorted(schema.hierarchy.bottom_categories())[0]
+        return instance_from_frozen(schema, bottom, copies=1, fan_out=1)
+
+    def test_pinned_falsifier_shape(self):
+        instance = self._pinned_instance()
+        schema = random_schema(self.CONFIG)
+        assert len(schema.hierarchy.categories) == 7
+        assert len(schema.constraints) == 6
+        assert len(instance) == 18
+
+    def test_pinned_falsifier_is_homogenized(self):
+        padded = homogenize(self._pinned_instance())
+        assert padded.is_valid()
+        for category in padded.hierarchy.categories:
+            signatures = {
+                ancestor_signature(padded, m) for m in padded.members(category)
+            }
+            assert len(signatures) <= 1, (category, signatures)
+
+    def test_pinned_falsifier_keeps_real_rollups(self):
+        instance = self._pinned_instance()
+        padded = homogenize(instance)
+        for member in instance.all_members():
+            for category in reached_categories(instance, member):
+                original = instance.ancestor_in(member, category)
+                assert padded.ancestor_in(member, category) == original
+
+    def test_homogenize_is_idempotent_on_pinned_falsifier(self):
+        padded = homogenize(self._pinned_instance())
+        again = homogenize(padded)
+        assert len(again) == len(padded)
+
+
 class TestPaddingRestoresSummarizability:
     def test_state_province_view_becomes_safe(self, loc_instance):
         """The whole point of padding: after it, Country can be derived
@@ -120,3 +181,22 @@ class TestReport:
         report = padding_report(chain_instance)
         assert report.null_members == 0
         assert report.member_blowup == 1.0
+
+    def test_empty_report_has_no_division_error(self):
+        # Degenerate counts must not raise ZeroDivisionError: an empty
+        # instance has no growth (blowup 1.0) and no nulls (fraction 0.0).
+        report = PaddingReport(
+            original_members=0,
+            padded_members=0,
+            null_members=0,
+            original_edges=0,
+            padded_edges=0,
+        )
+        assert report.member_blowup == 1.0
+        assert report.null_fraction == 0.0
+
+    def test_report_on_memberless_instance(self):
+        g = HierarchySchema(["A"], [("A", ALL)])
+        report = padding_report(DimensionInstance(g, {}, []))
+        assert report.member_blowup == 1.0
+        assert report.null_fraction == 0.0

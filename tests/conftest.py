@@ -1,9 +1,17 @@
 """Shared fixtures: the paper's running example and small synthetic
-schemas used across the suite."""
+schemas used across the suite.
+
+Also registers the ``ci`` hypothesis profile: derandomized with a fixed
+seed so CI runs are reproducible.  Activated via
+``HYPOTHESIS_PROFILE=ci`` in the environment.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.core import DimensionInstance, DimensionSchema, HierarchySchema
 from repro.generators.location import (
@@ -11,6 +19,12 @@ from repro.generators.location import (
     location_instance,
     location_schema,
 )
+
+settings.register_profile(
+    "ci", derandomize=True, deadline=None, print_blob=True
+)
+if os.environ.get("HYPOTHESIS_PROFILE"):
+    settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
 
 
 @pytest.fixture(scope="session")

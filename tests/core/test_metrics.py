@@ -1,0 +1,143 @@
+"""Metrics registry tests: counters, gauges, histograms, snapshots."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.core.metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    emit_metrics,
+    metrics_registry,
+)
+
+
+class TestCounter:
+    def test_counts_monotonically(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.as_json() == 5
+
+    def test_thread_safe_under_contention(self):
+        c = Counter("c")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        g.set(3.5)
+        g.set(1.0)
+        assert g.value == 1.0
+
+    def test_inc_adjusts(self):
+        g = Gauge("g")
+        g.inc(2.0)
+        g.inc(-0.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        h = Histogram("h")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            h.observe(value)
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.mean == 2.5
+        assert h.min == 1.0 and h.max == 4.0
+
+    def test_quantiles_from_the_reservoir(self):
+        h = Histogram("h")
+        for value in range(1, 101):
+            h.observe(float(value))
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+        assert h.quantile(0.5) in (50.0, 51.0)
+
+    def test_empty_histogram(self):
+        h = Histogram("h")
+        assert h.mean is None
+        assert h.quantile(0.5) is None
+        data = h.as_json()
+        assert data["count"] == 0 and data["p95"] is None
+
+    def test_reservoir_is_bounded_but_aggregates_stay_exact(self):
+        h = Histogram("h", reservoir=16)
+        for value in range(1000):
+            h.observe(float(value))
+        assert h.count == 1000
+        assert h.min == 0.0 and h.max == 999.0
+        # Quantiles reflect only the most recent window.
+        assert h.quantile(0.0) >= 984.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_snapshot_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("depth").set(2.5)
+        registry.histogram("wait_ms").observe(1.25)
+        document = json.loads(registry.to_json())
+        assert document == registry.snapshot()
+        assert document["counters"] == {"hits": 3}
+        assert document["gauges"] == {"depth": 2.5}
+        assert document["histograms"]["wait_ms"]["count"] == 1
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_process_wide_registry_is_a_singleton(self):
+        assert metrics_registry() is METRICS
+
+
+class TestEmit:
+    def test_emit_metrics_writes_valid_json(self, tmp_path):
+        METRICS.counter("test_metrics.emitted").inc()
+        path = tmp_path / "metrics.json"
+        snapshot = emit_metrics(str(path))
+        on_disk = json.loads(path.read_text())
+        assert on_disk == snapshot
+        assert on_disk["counters"]["test_metrics.emitted"] >= 1
+
+    def test_kernel_work_lands_in_the_registry(self):
+        from repro.core.dimsat import dimsat
+        from repro.generators.random_schema import (
+            RandomSchemaConfig,
+            schemas_by_size,
+        )
+
+        before = METRICS.counter("dimsat.decisions").value
+        schema = schemas_by_size([5], RandomSchemaConfig(seed=11))[5]
+        bottoms = sorted(schema.hierarchy.bottom_categories())
+        dimsat(schema, bottoms[0])
+        assert METRICS.counter("dimsat.decisions").value == before + 1

@@ -1,0 +1,240 @@
+"""Decision-trace layer tests: spans, events, ring buffers, and the
+zero-overhead / never-changes-a-verdict guarantees."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro._types import ALL
+from repro.core.dimsat import dimsat
+from repro.core.implication import is_implied
+from repro.core.summarizability import is_summarizable_in_schema
+from repro.core.trace import NULL_SPAN, TRACER, Tracer, tracer, tracing
+from repro.generators.random_schema import RandomSchemaConfig, random_schema
+from repro.generators.workloads import (
+    implication_workload,
+    summarizability_workload,
+)
+
+
+class TestSpans:
+    def test_spans_nest_and_record_parents(self):
+        t = Tracer()
+        t.enable()
+        with t.span("outer", a=1) as outer:
+            with t.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        spans = t.spans()
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+        by_name = {s["name"]: s for s in spans}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["outer"]["parent_id"] is None
+        assert by_name["outer"]["attrs"] == {"a": 1}
+
+    def test_spans_time_with_the_monotonic_clock(self):
+        t = Tracer()
+        t.enable()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        inner, outer = t.spans()
+        assert inner["name"] == "inner" and outer["name"] == "outer"
+        for span in (inner, outer):
+            assert span["duration_ms"] >= 0.0
+            assert span["start_ms"] >= 0.0
+        # The inner span starts after and finishes within the outer one.
+        assert inner["start_ms"] >= outer["start_ms"]
+        assert inner["duration_ms"] <= outer["duration_ms"]
+
+    def test_span_records_errors(self):
+        t = Tracer()
+        t.enable()
+        try:
+            with t.span("failing"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        (span,) = t.spans()
+        assert span["error"] == "ValueError"
+
+    def test_events_attach_to_the_innermost_open_span(self):
+        t = Tracer()
+        t.enable()
+        with t.span("outer") as outer:
+            t.event("hit", value=3)
+        t.event("orphan")
+        events = t.events()
+        assert events[0]["span_id"] == outer.span_id
+        assert events[0]["attrs"] == {"value": 3}
+        assert events[1]["span_id"] is None
+
+    def test_span_set_updates_attributes(self):
+        t = Tracer()
+        t.enable()
+        with t.span("s", a=1) as span:
+            span.set(verdict=True, a=2)
+        (recorded,) = t.spans()
+        assert recorded["attrs"] == {"a": 2, "verdict": True}
+
+    def test_threads_get_independent_span_stacks(self):
+        t = Tracer()
+        t.enable()
+        seen = {}
+
+        def worker():
+            with t.span("worker") as span:
+                seen["parent"] = span.parent_id
+
+        with t.span("main"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # The worker's span is a root in its own thread, not a child of
+        # the main thread's open span.
+        assert seen["parent"] is None
+
+
+class TestDisabledTracer:
+    def test_disabled_by_default(self):
+        assert Tracer().enabled is False
+        assert TRACER is tracer()
+
+    def test_disabled_span_is_the_shared_null_singleton(self):
+        t = Tracer()
+        assert t.span("anything", a=1) is NULL_SPAN
+        with t.span("anything") as span:
+            span.set(ignored=True)
+            span.event("ignored")
+            assert span.span_id is None
+        assert t.spans() == []
+        assert t.events() == []
+
+    def test_disabled_event_records_nothing(self):
+        t = Tracer()
+        t.event("ignored", a=1)
+        assert t.events() == []
+
+
+class TestRingBuffer:
+    def test_spans_and_events_are_bounded(self):
+        t = Tracer(max_entries=8)
+        t.enable()
+        for i in range(50):
+            with t.span(f"s{i}"):
+                pass
+            t.event(f"e{i}")
+        spans, events = t.spans(), t.events()
+        assert len(spans) == 8 and len(events) == 8
+        # Oldest dropped first: only the most recent entries remain.
+        assert spans[-1]["name"] == "s49"
+        assert events[-1]["name"] == "e49"
+
+
+class TestSnapshot:
+    def test_snapshot_round_trips_through_json(self):
+        t = Tracer()
+        t.enable()
+        with t.span("outer", views=frozenset({"b", "a"})) as span:
+            span.event("hit", count=2)
+            with t.span("inner"):
+                pass
+        document = json.loads(t.to_json())
+        assert document == t.snapshot()
+        assert {s["name"] for s in document["spans"]} == {"outer", "inner"}
+        # Non-primitive attributes are coerced to sorted string lists.
+        (outer,) = [s for s in document["spans"] if s["name"] == "outer"]
+        assert outer["attrs"] == {"views": ["a", "b"]}
+
+    def test_summary_aggregates_per_name(self):
+        t = Tracer()
+        t.enable()
+        for _ in range(3):
+            with t.span("repeated"):
+                pass
+        summary = t.summary()
+        assert summary["repeated"]["count"] == 3
+        assert summary["repeated"]["total_ms"] >= summary["repeated"]["max_ms"]
+
+    def test_clear_drops_everything(self):
+        t = Tracer()
+        t.enable()
+        with t.span("s"):
+            t.event("e")
+        t.clear()
+        assert t.spans() == [] and t.events() == []
+
+
+class TestTracingContextManager:
+    def test_tracing_enables_then_restores(self):
+        assert TRACER.enabled is False
+        with tracing() as t:
+            assert t is TRACER and t.enabled
+        assert TRACER.enabled is False
+
+    def test_tracing_preserves_an_already_enabled_tracer(self):
+        TRACER.enable()
+        try:
+            with tracing():
+                pass
+            assert TRACER.enabled is True
+        finally:
+            TRACER.disable()
+            TRACER.clear()
+
+
+#: The PR 2 differential-schema shapes (every generator knob exercised),
+#: pinned to fixed seeds so the on/off comparison is deterministic.
+DIFFERENTIAL_CONFIGS = [
+    RandomSchemaConfig(
+        n_categories=n,
+        n_layers=layers,
+        extra_edge_prob=extra,
+        into_fraction=into,
+        choice_constraint_prob=choice,
+        seed=seed,
+    )
+    for n, layers, extra, into, choice, seed in [
+        (4, 2, 0.0, 0.5, 0.7, 1),
+        (5, 2, 0.3, 1.0, 0.0, 2),
+        (6, 3, 0.6, 0.5, 0.7, 11),
+        (6, 3, 0.3, 0.0, 0.7, 880),
+        (7, 3, 0.4, 0.5, 0.7, 17),
+    ]
+]
+
+
+def _decide_all(schema):
+    """Every decision kind over one schema, uncached, as one verdict list."""
+    verdicts = []
+    for category in sorted(schema.hierarchy.categories - {ALL}):
+        verdicts.append(dimsat(schema, category).satisfiable)
+    for query in implication_workload(schema, n_queries=6, seed=5):
+        verdicts.append(is_implied(schema, query, cache=None))
+    for target, sources in summarizability_workload(schema, n_queries=6, seed=5):
+        verdicts.append(
+            is_summarizable_in_schema(schema, target, sources, cache=None)
+        )
+    return verdicts
+
+
+class TestTracingIsObservationOnly:
+    def test_verdicts_byte_identical_with_tracing_on(self):
+        """Enabling the tracer never changes any decision's verdict."""
+        for config in DIFFERENTIAL_CONFIGS:
+            schema = random_schema(config)
+            baseline = json.dumps(_decide_all(schema)).encode()
+            with tracing() as t:
+                traced = json.dumps(_decide_all(schema)).encode()
+                assert t.spans(), config.seed  # the run really was traced
+            assert traced == baseline, config.seed
+
+    def test_traced_run_records_the_documented_span_names(self):
+        schema = random_schema(DIFFERENTIAL_CONFIGS[2])
+        with tracing() as t:
+            _decide_all(schema)
+            names = {s["name"] for s in t.spans()}
+        assert "dimsat.decide" in names
+        assert "implication.decide" in names
+        assert "summarizability.decide" in names
+        assert "summarizability.bottom" in names

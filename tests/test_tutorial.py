@@ -119,6 +119,38 @@ class TestSection7Navigation:
         assert plan.kind == "rewritten"
 
 
+class TestSection11Observability:
+    def test_traced_decision_records_the_documented_spans(self, ds):
+        from repro.core.trace import tracer, tracing
+
+        with tracing():
+            assert dimsat(ds, "Shipment").satisfiable
+            document = tracer().snapshot()
+        names = {span["name"] for span in document["spans"]}
+        assert "dimsat.decide" in names
+        assert "dimsat.check" in names
+        assert set(document) >= {"spans", "events", "summary"}
+        summary = document["summary"]["dimsat.decide"]
+        assert set(summary) == {"count", "total_ms", "max_ms"}
+
+    def test_tracer_is_off_by_default_and_restored(self):
+        from repro.core.trace import tracer, tracing
+
+        assert tracer().enabled is False
+        with tracing():
+            assert tracer().enabled is True
+        assert tracer().enabled is False
+
+    def test_metrics_registry_snapshot_shape(self, ds):
+        from repro.core.metrics import metrics_registry
+
+        before = metrics_registry().counter("dimsat.decisions").value
+        dimsat(ds, "Gateway")
+        snapshot = metrics_registry().snapshot()
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        assert snapshot["counters"]["dimsat.decisions"] == before + 1
+
+
 class TestSection9OrderPredicates:
     def test_weight_rule(self, g):
         ds2 = DimensionSchema(
