@@ -21,6 +21,13 @@ random-schema workload with repeated queries (the navigator's traffic
 shape): per-request sequential kernel vs one ``decide_many`` batch at 4
 workers.  Verdicts must be byte-identical; the numbers go to
 ``BENCH_2.json`` and the gate fails below a 2x speedup.
+
+Finally the run prices the resilience layer: the same batch through a
+:class:`~repro.core.resilience.ResilientDecisionEngine` (fault-free)
+must return byte-identical verdicts at <=5% overhead versus the plain
+parallel engine, and a faulted pass (fixed-seed worker crashes and
+cache-store failures) must stay correct-or-UNKNOWN.  The numbers go to
+``BENCH_4.json``.
 """
 
 from __future__ import annotations
@@ -298,6 +305,108 @@ def _parallel_smoke(output_path, repeats=3):
     return report
 
 
+def _resilience_smoke(output_path, repeats=5):
+    """Fault-free resilience overhead plus a faulted correctness pass.
+
+    The resilient engine wraps the parallel engine with a retry/breaker
+    ladder; when nothing faults, that machinery must cost (almost)
+    nothing.  Both engines answer the identical batch (fresh
+    :class:`~repro.core.decisioncache.DecisionCache` per run); verdicts
+    must be byte-identical, and the gate fails when the resilient
+    engine's best-of-``repeats`` wall clock exceeds the plain engine's
+    by more than 5%.  Min-of-repeats (after one warm-up each) keeps the
+    gate stable against scheduler noise.
+
+    A second, faulted pass replays the differential suite's hammer
+    schedule (fixed seed) and asserts the ladder's contract: every
+    decision ends as a verdict that matches the plain engine or as a
+    typed UNKNOWN - never a wrong answer.
+    """
+    from repro.core.faults import inject_faults
+    from repro.core.resilience import ResilientDecisionEngine, RetryPolicy
+
+    batch = _batch_workload()
+
+    def time_plain():
+        start = time.perf_counter()
+        with ParallelDecisionEngine(
+            max_workers=4, cache=DecisionCache()
+        ) as engine:
+            verdicts = engine.decide_many(batch)
+        return time.perf_counter() - start, verdicts
+
+    fast_retry = RetryPolicy(max_attempts=3, base_delay_ms=0.0, max_delay_ms=0.0)
+
+    def time_resilient():
+        start = time.perf_counter()
+        with ResilientDecisionEngine(
+            retry=fast_retry, max_workers=4, cache=DecisionCache()
+        ) as engine:
+            verdicts = engine.decide_many(batch)
+        return time.perf_counter() - start, verdicts
+
+    time_plain()  # warm-up (imports, pool spin-up)
+    time_resilient()
+    plain_s = min(time_plain()[0] for _ in range(repeats))
+    plain_verdicts = time_plain()[1]
+    resilient_s = min(time_resilient()[0] for _ in range(repeats))
+    resilient_verdicts = time_resilient()[1]
+
+    plain_bytes = json.dumps(plain_verdicts).encode()
+    if json.dumps(resilient_verdicts).encode() != plain_bytes:
+        raise AssertionError(
+            "fault-free resilient verdicts diverge from the plain engine"
+        )
+
+    # Faulted pass: worker crashes + cache-store failures, fixed seed
+    # (the schedule the differential suite's hammer replays in CI).
+    with ResilientDecisionEngine(
+        retry=fast_retry, max_workers=4, mode="thread", cache=DecisionCache()
+    ) as engine:
+        with inject_faults(
+            "worker-crash:p=0.3,after=5;cache-store:p=0.3;seed=20020601"
+        ) as injector:
+            outcomes = engine.decide_many_outcomes(batch)
+        fired = dict(injector.fired())
+        unknown = sum(1 for o in outcomes if o.unknown)
+        wrong = sum(
+            1
+            for o, expected in zip(outcomes, plain_verdicts)
+            if o.ok and o.verdict != expected
+        )
+        faulted_stats = engine.stats
+    if wrong:
+        raise AssertionError(
+            f"faulted pass returned {wrong} wrong verdicts (never acceptable)"
+        )
+
+    overhead = resilient_s / plain_s - 1.0 if plain_s else 0.0
+    report = {
+        "benchmark": "resilient engine overhead (random-schema workload)",
+        "baseline": "ParallelDecisionEngine.decide_many, 4 workers, "
+        "fresh DecisionCache per run",
+        "resilient": "ResilientDecisionEngine (retry ladder + breaker), "
+        "fault-free, same workload",
+        "requests": len(batch),
+        "repeats": repeats,
+        "timing": "best of repeats after one warm-up run each",
+        "plain_s": plain_s,
+        "resilient_s": resilient_s,
+        "overhead_pct": overhead * 100.0,
+        "verdicts_identical": True,
+        "faulted_pass": {
+            "spec": "worker-crash:p=0.3,after=5;cache-store:p=0.3;seed=20020601",
+            "fired": fired,
+            "unknown_verdicts": unknown,
+            "wrong_verdicts": wrong,
+            "retries": faulted_stats.retries,
+            "degraded_sequential": faulted_stats.degraded_sequential,
+        },
+    }
+    output_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
 def _main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -345,6 +454,21 @@ def _main(argv=None):
         print("FAIL: parallel batch speedup below 2x")
         return 1
     print("OK: parallel batch at or above 2x with identical verdicts")
+
+    bench4_path = Path(args.output).with_name("BENCH_4.json")
+    resilience = _resilience_smoke(bench4_path)
+    faulted = resilience["faulted_pass"]
+    print(
+        f"resilience benchmark: plain {resilience['plain_s'] * 1000:.1f} ms, "
+        f"resilient {resilience['resilient_s'] * 1000:.1f} ms "
+        f"({resilience['overhead_pct']:+.1f}%), faulted pass "
+        f"{faulted['unknown_verdicts']} UNKNOWN / 0 wrong, "
+        f"report -> {bench4_path}"
+    )
+    if resilience["overhead_pct"] > 5.0:
+        print("FAIL: fault-free resilient overhead above 5%")
+        return 1
+    print("OK: resilient overhead within 5% with identical verdicts")
     hot = sorted(
         parallel["trace_summary"].items(),
         key=lambda kv: kv[1]["total_ms"],

@@ -45,6 +45,15 @@ Subcommands
 The global ``--emit-metrics PATH`` flag writes a JSON snapshot of the
 process-wide metrics registry (counters, gauges, histograms) after any
 command, successful or not.
+
+Resilience flags: ``--retries N`` serves decisions through the
+:class:`~repro.core.resilience.ResilientDecisionEngine` (retry with
+backoff, sequential degradation, typed UNKNOWN), and
+``--inject-faults SPEC`` activates the deterministic fault harness for
+the command (drills and testing; see :mod:`repro.core.faults` for the
+spec grammar).  Exit codes: 0 yes/ok, 1 negative verdict, 2 usage or
+input error, 3 budget exceeded, 4 decision unavailable (every rung of
+the resilience ladder failed).
 """
 
 from __future__ import annotations
@@ -60,14 +69,17 @@ from repro.core import (
     ALL,
     DecisionBudget,
     ParallelDecisionEngine,
+    ResilientDecisionEngine,
+    RetryPolicy,
     dimsat,
     enumerate_frozen_dimensions,
     implies,
+    inject_faults,
     is_summarizable_in_schema,
     satisfiability_report,
 )
 from repro.core.schema import DimensionSchema
-from repro.errors import BudgetExceeded, ReproError
+from repro.errors import BudgetExceeded, DecisionUnavailable, ReproError
 from repro.io import (
     frozen_set_to_dot,
     hierarchy_to_dot,
@@ -87,39 +99,69 @@ def _budget_from_args(args: argparse.Namespace) -> Optional[DecisionBudget]:
     return DecisionBudget(time_ms=ms)
 
 
-def _engine_from_args(args: argparse.Namespace) -> Optional[ParallelDecisionEngine]:
-    """A :class:`ParallelDecisionEngine` when ``--workers``/``--budget-ms``
-    asked for one, else ``None`` (the plain sequential entry points)."""
+def _engine_from_args(args: argparse.Namespace):
+    """The decision engine ``--workers``/``--budget-ms``/``--retries``
+    asked for, else ``None`` (the plain sequential entry points).
+
+    ``--retries`` wraps the parallel engine in a
+    :class:`~repro.core.resilience.ResilientDecisionEngine`: transient
+    failures are retried with backoff, a persistently failing pool
+    degrades to the sequential kernel, and a decision no rung can serve
+    exits with code 4 instead of a traceback.
+    """
     workers = getattr(args, "workers", None)
     budget = _budget_from_args(args)
-    if workers is None and budget is None:
+    retries = getattr(args, "retries", None)
+    if workers is None and budget is None and retries is None:
         return None
-    return ParallelDecisionEngine(max_workers=workers or 1, budget=budget)
+    engine = ParallelDecisionEngine(max_workers=workers or 1, budget=budget)
+    if retries is None:
+        return engine
+    return ResilientDecisionEngine(
+        engine, retry=RetryPolicy(max_attempts=max(1, retries))
+    )
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
     schema = _load_schema(args.schema)
     engine = _engine_from_args(args)
+    unknown = 0
     if engine is not None:
         with engine:
             categories = [
                 c for c in sorted(schema.hierarchy.categories) if c != ALL
             ]
-            verdicts = engine.decide_many(
-                [(schema, ("dimsat", c)) for c in categories]
-            )
+            requests = [(schema, ("dimsat", c)) for c in categories]
+            if hasattr(engine, "decide_many_outcomes"):
+                # Resilient engine: a category no rung could decide shows
+                # as UNKN instead of killing the audit.
+                outcomes = engine.decide_many_outcomes(requests)
+                verdicts = [o.verdict for o in outcomes]
+            else:
+                verdicts = engine.decide_many(requests)
         report = dict(zip(categories, verdicts))
         report[ALL] = True
     else:
         report = satisfiability_report(schema)
     bad = 0
     for category, satisfiable in sorted(report.items()):
-        marker = "ok " if satisfiable else "DEAD"
-        if not satisfiable:
+        if satisfiable is None:
+            marker = "UNKN"
+            unknown += 1
+        elif satisfiable:
+            marker = "ok "
+        else:
+            marker = "DEAD"
             bad += 1
         print(f"{marker}  {category}")
     if bad:
         print(f"{bad} unsatisfiable categor{'y' if bad == 1 else 'ies'}")
+    if unknown:
+        print(
+            f"{unknown} categor{'y' if unknown == 1 else 'ies'} could not "
+            "be decided (see exit code 4)"
+        )
+        return 4
     return 1 if bad else 0
 
 
@@ -379,6 +421,25 @@ def build_parser() -> argparse.ArgumentParser:
         "that exceeds it aborts with exit code 3 instead of returning a "
         "possibly-wrong verdict",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve decisions through the resilient engine: up to N "
+        "attempts per ladder rung with exponential backoff, sequential "
+        "degradation when the parallel engine keeps failing, and exit "
+        "code 4 when no rung could produce a verdict",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        default=None,
+        help="activate the deterministic fault-injection harness for the "
+        "command (testing/drills); SPEC is 'kind[:field=value,...];...' "
+        "with kinds worker-crash, slow-worker, oserror, cache-store, "
+        "pool-exhaustion, e.g. 'worker-crash:p=0.3;seed=7'",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     audit = sub.add_parser("audit", help="satisfiability of every category")
@@ -478,7 +539,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        spec = getattr(args, "inject_faults", None)
+        if spec:
+            with inject_faults(spec):
+                return args.handler(args)
         return args.handler(args)
+    except DecisionUnavailable as error:
+        # Must precede the ReproError arm: DecisionUnavailable is a
+        # ReproError, but "no rung could answer" deserves its own exit
+        # code so operators can tell degradation from bad input.
+        print(f"decision unavailable: {error}", file=sys.stderr)
+        return 4
     except BudgetExceeded as error:
         print(f"budget exceeded: {error}", file=sys.stderr)
         return 3

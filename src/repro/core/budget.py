@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.metrics import METRICS
 from repro.errors import BudgetExceeded, ReproError
@@ -160,6 +160,20 @@ class DecisionBudget:
         nodes = self._nodes
         _G_LAST_NODES.set(nodes)
         _H_NODES.observe(nodes)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-ready view of the budget's limits and consumption.
+
+        The resilience layer attaches this to failure provenance when a
+        budgeted decision degrades, so an UNKNOWN verdict records how much
+        work was spent before the abort.
+        """
+        return {
+            "max_nodes": self.max_nodes,
+            "time_ms": self.time_ms,
+            "nodes_charged": self._nodes,
+            "cancelled": self._cancel.is_set(),
+        }
 
     def spec(self) -> BudgetSpec:
         """The picklable ``(max_nodes, time_ms)`` description."""

@@ -32,6 +32,7 @@ from dataclasses import asdict, astuple, dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, Optional, Tuple
 
 from repro._types import Category
+from repro.core.faults import FAULTS, CacheStoreFault
 from repro.core.metrics import METRICS
 from repro.core.trace import TRACER
 
@@ -42,6 +43,7 @@ _M_HITS = METRICS.counter("decision_cache.hits")
 _M_MISSES = METRICS.counter("decision_cache.misses")
 _M_EVICTIONS = METRICS.counter("decision_cache.evictions")
 _M_INVALIDATIONS = METRICS.counter("decision_cache.invalidations")
+_M_STORE_FAILURES = METRICS.counter("decision_cache.store_failures")
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.budget import DecisionBudget
@@ -76,6 +78,10 @@ class DecisionCacheStats:
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    #: Store attempts that failed (e.g. an injected ``cache-store``
+    #: fault).  The computed verdict was still returned - a failed store
+    #: degrades throughput, never correctness.
+    store_failures: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -141,13 +147,24 @@ class DecisionCache:
             return hit_value
         _M_MISSES.inc()
         value = compute()
-        with self._lock:
-            if full_key not in self._data:
-                if len(self._data) >= self.max_entries:
-                    self._data.pop(next(iter(self._data)))
-                    self.stats.evictions += 1
-                    _M_EVICTIONS.inc()
-                self._data[full_key] = value
+        try:
+            FAULTS.cache_store()
+            with self._lock:
+                if full_key not in self._data:
+                    if len(self._data) >= self.max_entries:
+                        self._data.pop(next(iter(self._data)))
+                        self.stats.evictions += 1
+                        _M_EVICTIONS.inc()
+                    self._data[full_key] = value
+        except CacheStoreFault:
+            # A failed store is pure degradation: the verdict was computed
+            # and is correct, so serve it; the cache just stays cold for
+            # this key.  Nothing partial is ever stored.
+            with self._lock:
+                self.stats.store_failures += 1
+            _M_STORE_FAILURES.inc()
+            if TRACER.enabled:
+                TRACER.event("decision_cache.store_failed", kind=str(key[0]))
         return value
 
     # ------------------------------------------------------------------
@@ -279,6 +296,7 @@ class DecisionCache:
             f"  hit rate       {self.stats.hit_rate:.1%}",
             f"  evictions      {self.stats.evictions}",
             f"  invalidations  {self.stats.invalidations}",
+            f"  store failures {self.stats.store_failures}",
             "circle-operator cache:",
             f"  entries        {len(circ)}",
             f"  hits           {circ.hits}",

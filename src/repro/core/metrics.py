@@ -10,8 +10,9 @@ serializes to JSON through :meth:`MetricsRegistry.snapshot` (the CLI's
 
 Naming convention: dotted ``subsystem.metric`` names, e.g.
 ``decision_cache.hits``, ``circle_cache.misses``,
-``engine.queue_wait_ms``, ``budget.exceeded``.  The registry creates
-metrics on first use, so readers never race creators.
+``engine.queue_wait_ms``, ``budget.exceeded``, ``resilience.retries``,
+``faults.worker-crash``.  The registry creates metrics on first use, so
+readers never race creators.
 
 The per-object stats the kernel exposed before this module existed
 (:class:`~repro.core.decisioncache.DecisionCacheStats`,
@@ -163,6 +164,17 @@ class MetricsRegistry:
             if metric is None:
                 metric = self._histograms[name] = Histogram(name)
             return metric
+
+    def counter_value(self, name: str) -> int:
+        """A counter's current value without creating it (0 when absent).
+
+        Lets tests and reports probe e.g. ``resilience.retries`` or
+        ``faults.worker-crash`` without materializing zero-valued metrics
+        in every snapshot.
+        """
+        with self._lock:
+            metric = self._counters.get(name)
+        return metric.value if metric is not None else 0
 
     def register_derived(self, name: str, supplier: Callable[[], float]) -> None:
         """Expose an externally-maintained value as a counter at snapshot

@@ -88,6 +88,7 @@ from repro.core.dimsat import (
     _trivial_all_result,
     dimsat,
 )
+from repro.core.faults import FAULTS
 from repro.core.implication import ImplicationResult, is_implied
 from repro.core.metrics import METRICS
 from repro.core.schema import DimensionSchema
@@ -229,6 +230,7 @@ class ParallelDecisionEngine:
         with self._lock:
             if self._executor is None:
                 try:
+                    FAULTS.pool_create()
                     if self.mode == "process":
                         self._executor = ProcessPoolExecutor(
                             max_workers=self.max_workers
@@ -344,6 +346,7 @@ class ParallelDecisionEngine:
         executor = self._get_executor() if self.mode == "thread" else None
         if executor is None:
             self._note_fallback()
+            FAULTS.worker()
             return dimsat(schema, category, options, budget)
         if not schema.hierarchy.has_category(category):
             raise SchemaError(f"unknown category {category!r}")
@@ -361,6 +364,7 @@ class ParallelDecisionEngine:
 
         def run_branch(job: Tuple[object, ...]) -> object:
             _H_QUEUE_WAIT.observe((time.perf_counter() - submitted) * 1000.0)
+            FAULTS.worker()
             try:
                 return next(search.expand_from(job), None)  # type: ignore[arg-type]
             except DecisionCancelled:
@@ -378,28 +382,35 @@ class ParallelDecisionEngine:
         witness = None
         budget_error: Optional[BudgetExceeded] = None
         pending = set(futures)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                try:
-                    result = future.result()
-                except BudgetExceeded as exc:
-                    budget_error = exc
-                    budget.cancel()
-                    continue
-                if result is not None and witness is None:
-                    witness = result
-                    # Cooperative cancellation: one frozen dimension
-                    # settles satisfiability, the losers stop at their
-                    # next budget checkpoint.
-                    budget.cancel()
-                    with self._lock:
-                        self.stats.tasks_cancelled += len(pending)
-                    _M_CANCELLED.inc(len(pending))
-                    if TRACER.enabled and pending:
-                        TRACER.event(
-                            "engine.cancel", kind="dimsat", losers=len(pending)
-                        )
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    try:
+                        result = future.result()
+                    except BudgetExceeded as exc:
+                        budget_error = exc
+                        budget.cancel()
+                        continue
+                    if result is not None and witness is None:
+                        witness = result
+                        # Cooperative cancellation: one frozen dimension
+                        # settles satisfiability, the losers stop at their
+                        # next budget checkpoint.
+                        budget.cancel()
+                        with self._lock:
+                            self.stats.tasks_cancelled += len(pending)
+                        _M_CANCELLED.inc(len(pending))
+                        if TRACER.enabled and pending:
+                            TRACER.event(
+                                "engine.cancel", kind="dimsat", losers=len(pending)
+                            )
+        except BaseException:
+            # A branch died for a reason the race does not understand (an
+            # injected fault, a real OSError): cancel the survivors so the
+            # failed decision cannot leak running work into the pool.
+            budget.cancel()
+            raise
         if witness is None and budget_error is not None:
             # Some branch ran out of budget and no other branch found a
             # witness: "unsatisfiable" would be unsound, so re-raise.
@@ -440,6 +451,7 @@ class ParallelDecisionEngine:
         if executor is None or len(tests) <= 1:
             if executor is None:
                 self._note_fallback()
+            FAULTS.worker()
             budget = self._fresh_budget()
             return all(
                 is_implied(schema, node, options, cache=self.cache, budget=budget)
@@ -451,6 +463,7 @@ class ParallelDecisionEngine:
 
         def run_bottom(node: Node) -> Optional[bool]:
             _H_QUEUE_WAIT.observe((time.perf_counter() - submitted) * 1000.0)
+            FAULTS.worker()
             try:
                 return is_implied(
                     schema, node, options, cache=self.cache, budget=budget
@@ -472,27 +485,36 @@ class ParallelDecisionEngine:
         verdict = True
         budget_error: Optional[BudgetExceeded] = None
         pending = set(futures)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                try:
-                    implied = future.result()
-                except BudgetExceeded as exc:
-                    budget_error = exc
-                    budget.cancel()
-                    continue
-                if implied is False and verdict:
-                    verdict = False
-                    # One bottom category violates Theorem 1's implication:
-                    # the answer is "no" whatever the others say.
-                    budget.cancel()
-                    with self._lock:
-                        self.stats.tasks_cancelled += len(pending)
-                    _M_CANCELLED.inc(len(pending))
-                    if TRACER.enabled and pending:
-                        TRACER.event(
-                            "engine.cancel", kind="summarizable", losers=len(pending)
-                        )
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    try:
+                        implied = future.result()
+                    except BudgetExceeded as exc:
+                        budget_error = exc
+                        budget.cancel()
+                        continue
+                    if implied is False and verdict:
+                        verdict = False
+                        # One bottom category violates Theorem 1's
+                        # implication: the answer is "no" whatever the
+                        # others say.
+                        budget.cancel()
+                        with self._lock:
+                            self.stats.tasks_cancelled += len(pending)
+                        _M_CANCELLED.inc(len(pending))
+                        if TRACER.enabled and pending:
+                            TRACER.event(
+                                "engine.cancel",
+                                kind="summarizable",
+                                losers=len(pending),
+                            )
+        except BaseException:
+            # See _dimsat_fanout: a faulted bottom must not leave its
+            # siblings running after the decision has already failed.
+            budget.cancel()
+            raise
         if verdict and budget_error is not None:
             # Every finished bottom passed, but at least one was aborted:
             # "yes" would be unsound.
@@ -520,6 +542,30 @@ class ParallelDecisionEngine:
         Requests inside a batch run the sequential kernel per worker -
         batching parallelizes *across* requests; use the single-decision
         methods for *intra*-decision fan-out.
+
+        A request that fails (a budget abort, a worker fault) raises; use
+        :meth:`try_decide_many` when the batch must survive individual
+        failures.
+        """
+        results = self.try_decide_many(items)
+        for result in results:
+            if isinstance(result, BaseException):
+                raise result
+        return results  # type: ignore[return-value]
+
+    def try_decide_many(
+        self,
+        items: Iterable[Tuple[DimensionSchema, Sequence[object]]],
+    ) -> List[object]:
+        """:meth:`decide_many` with per-request fault containment.
+
+        Each element of the returned list (aligned with the input order)
+        is either the boolean verdict or the exception instance that
+        request's decision raised - one crashed worker no longer takes
+        down the rest of the batch.  Malformed requests still raise
+        immediately from :func:`normalize_request` (they are caller bugs,
+        not service faults).  Duplicated requests share one decision, so
+        they also share one failure.
         """
         pairs = [(schema, normalize_request(request)) for schema, request in items]
         with self._lock:
@@ -542,14 +588,17 @@ class ParallelDecisionEngine:
                 "engine.batch", requests=len(pairs), unique=len(order), deduped=deduped
             )
 
-        verdicts: Dict[Tuple[str, RequestKey], bool] = {}
+        results: Dict[Tuple[str, RequestKey], object] = {}
         executor = self._get_executor()
         if executor is None:
             self._note_fallback()
             for ukey, schema, key in order:
-                verdicts[ukey] = self._decide_sequential(schema, key)
+                try:
+                    results[ukey] = self._decide_sequential(schema, key)
+                except Exception as exc:
+                    results[ukey] = exc
         elif self.mode == "process":
-            self._decide_many_process(executor, order, verdicts)
+            self._decide_many_process(executor, order, results)
         else:
             submitted = time.perf_counter()
 
@@ -565,22 +614,26 @@ class ParallelDecisionEngine:
                 self.stats.tasks_dispatched += len(futures)
             _M_DISPATCHED.inc(len(futures))
             for future, ukey in futures.items():
-                verdicts[ukey] = future.result()
+                try:
+                    results[ukey] = future.result()
+                except Exception as exc:
+                    results[ukey] = exc
 
-        return [verdicts[(schema.fingerprint(), key)] for schema, key in pairs]
+        return [results[(schema.fingerprint(), key)] for schema, key in pairs]
 
     def _decide_many_process(
         self,
         executor: Executor,
         order: List[Tuple[Tuple[str, RequestKey], DimensionSchema, RequestKey]],
-        verdicts: Dict[Tuple[str, RequestKey], bool],
+        results: Dict[Tuple[str, RequestKey], object],
     ) -> None:
         """Dispatch a deduped batch to the process pool.
 
         Schemas travel as canonical JSON text; workers re-intern them once
         per fingerprint (see :func:`_process_decide`).  A broken pool
         degrades to the in-process sequential path for the remaining
-        requests instead of failing the batch.
+        requests instead of failing the batch; other per-task failures
+        are captured into ``results`` for the caller to classify.
         """
         from concurrent.futures.process import BrokenProcessPool
 
@@ -603,14 +656,22 @@ class ParallelDecisionEngine:
             with self._lock:
                 self.stats.tasks_dispatched += len(futures)
             for future, ukey in futures.items():
-                verdicts[ukey] = future.result()
+                try:
+                    results[ukey] = future.result()
+                except BrokenProcessPool:
+                    raise
+                except Exception as exc:
+                    results[ukey] = exc
         except BrokenProcessPool:
             with self._lock:
                 self._executor_failed = True
             self._note_fallback()
             for ukey, schema, key in order:
-                if ukey not in verdicts:
-                    verdicts[ukey] = self._decide_sequential(schema, key)
+                if ukey not in results:
+                    try:
+                        results[ukey] = self._decide_sequential(schema, key)
+                    except Exception as exc:
+                        results[ukey] = exc
 
     def _decide_sequential(self, schema: DimensionSchema, key: RequestKey) -> bool:
         """One normalized request on the sequential kernel (runs inside a
@@ -636,6 +697,10 @@ def _decide(
     from repro.core.implication import is_category_satisfiable
     from repro.core.summarizability import is_summarizable_in_schema
 
+    # The per-decision fault checkpoint: every batch worker (thread or
+    # process) and the sequential fallback pass through here, so injected
+    # worker faults hit all rungs of the resilience ladder uniformly.
+    FAULTS.worker()
     kind = key[0]
     if kind == "dimsat":
         return is_category_satisfiable(schema, key[1], options, cache, budget)

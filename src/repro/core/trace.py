@@ -22,7 +22,10 @@ provides the substrate every reasoning layer instruments itself with:
 
 Span names are dotted and stable (``dimsat.decide``, ``dimsat.check``,
 ``implication.decide``, ``summarizability.bottom``,
-``navigator.answer``, ``viewselect.evaluate`` ...); the event schema is
+``navigator.answer``, ``viewselect.evaluate``, ``resilience.decide``
+...), as are event names (``engine.dispatch``, ``decision_cache.lookup``
+/ ``decision_cache.store_failed``, ``resilience.retry`` /
+``resilience.degrade`` / ``resilience.unknown`` ...); the event schema is
 documented in ``docs/TUTORIAL.md`` (Observability) and the span-to-paper
 mapping in ``docs/PAPER_MAP.md``.  The CLI surfaces traces through
 ``repro-olap trace`` and the metrics sibling through

@@ -64,6 +64,24 @@ class BudgetExceeded(ReproError):
     """
 
 
+class DecisionUnavailable(ReproError):
+    """Every rung of the resilience ladder failed to produce a verdict.
+
+    Raised by :class:`~repro.core.resilience.ResilientDecisionEngine`
+    when the parallel engine (with retries), the sequential kernel
+    fallback, and any remaining recovery path all failed for a decision.
+    The question is *undecided* - a typed UNKNOWN, never a wrong boolean
+    - and ``failures`` carries the provenance: one record per failed
+    attempt (rung, attempt number, error type, message).  Caches are
+    left verdict-clean, so re-asking once the faults clear yields the
+    correct answer.
+    """
+
+    def __init__(self, message: str, failures: tuple = ()) -> None:
+        super().__init__(message)
+        self.failures = tuple(failures)
+
+
 class OlapError(ReproError):
     """An error in the OLAP engine substrate (fact tables and cube views)."""
 

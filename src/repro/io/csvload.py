@@ -80,6 +80,16 @@ def instance_from_csv(
                 )
             members[parent] = parent_category
             edges.append((member, parent))
+        elif parent_category:
+            # A parentless row carrying a parent_category used to be
+            # silently accepted, dropping the category declaration the
+            # author plainly intended (``s1,Store,,City,``): the City link
+            # simply vanished from the loaded instance.
+            raise SchemaError(
+                f"line {line}: row for member {member!r} declares "
+                f"parent_category {parent_category!r} but no parent; "
+                "either name the parent member or leave both columns empty"
+            )
         name = (row.get("name") or "").strip()
         if name:
             names[member] = name

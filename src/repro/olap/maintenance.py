@@ -57,9 +57,35 @@ def apply_delta(
     """
     if delta.instance is not instance:
         # Same-object check is too strict for rebuilt instances; fall back
-        # to a structural guard.
+        # to a structural guard.  Comparing hierarchies alone is not
+        # enough: a delta whose instance rolls a shared member up
+        # *differently* would merge that member's cells under the wrong
+        # ancestors, silently corrupting the view.  Every fact member must
+        # exist in the target instance with the same category and the same
+        # rollup.
         if delta.instance.hierarchy != instance.hierarchy:
             raise OlapError("delta facts belong to a different dimension")
+        for fact in delta:
+            member = fact.member
+            if member not in instance:
+                raise OlapError(
+                    f"delta fact member {member!r} does not exist in the "
+                    "view's dimension instance"
+                )
+            if instance.category_of(member) != delta.instance.category_of(member):
+                raise OlapError(
+                    f"delta fact member {member!r} has category "
+                    f"{delta.instance.category_of(member)!r} in the delta "
+                    f"but {instance.category_of(member)!r} in the view's "
+                    "dimension instance"
+                )
+            if instance.ancestors_of(member) != delta.instance.ancestors_of(
+                member
+            ):
+                raise OlapError(
+                    f"delta fact member {member!r} rolls up differently in "
+                    "the delta than in the view's dimension instance"
+                )
     partial = cube_view(delta, view.category, view.aggregate, view.measure)
     cells: Dict[Member, float] = dict(view.cells)
     for member, value in partial.cells.items():

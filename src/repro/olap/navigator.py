@@ -72,6 +72,10 @@ class NavigatorStats:
     rows_read: int = 0
     summarizability_checks: int = 0
     supersets_skipped: int = 0
+    #: Batched checks a resilient engine answered UNKNOWN.  The navigator
+    #: treats those as not-proven (a base scan is always correct) and
+    #: never caches them, so a later healthy check can still prove them.
+    unknown_verdicts: int = 0
 
 
 class AggregateNavigator:
@@ -277,16 +281,37 @@ class AggregateNavigator:
                 (self.schema, ("summarizable", target, tuple(sorted(sources))))
                 for target, sources in missing
             ]
-            verdicts = self.engine.decide_many(requests)
-            for (target, sources), verdict in zip(missing, verdicts):
-                self.stats.summarizability_checks += 1
-                self._summarizable_cache[(context, target, sources)] = verdict
-                if verdict:
-                    self._proven_sources.setdefault((context, target), []).append(
-                        sources
+            if hasattr(self.engine, "decide_many_outcomes"):
+                # Resilient engine: an UNKNOWN check is conservatively
+                # treated as not-proven *for this batch only* - nothing is
+                # cached for it, so no degraded verdict can ever stick.
+                outcomes = self.engine.decide_many_outcomes(requests)
+                for (target, sources), outcome in zip(missing, outcomes):
+                    self.stats.summarizability_checks += 1
+                    if outcome.unknown:
+                        self.stats.unknown_verdicts += 1
+                        continue
+                    self._summarizable_cache[(context, target, sources)] = (
+                        outcome.verdict
                     )
+                    if outcome.verdict:
+                        self._proven_sources.setdefault(
+                            (context, target), []
+                        ).append(sources)
+            else:
+                verdicts = self.engine.decide_many(requests)
+                for (target, sources), verdict in zip(missing, verdicts):
+                    self.stats.summarizability_checks += 1
+                    self._summarizable_cache[(context, target, sources)] = verdict
+                    if verdict:
+                        self._proven_sources.setdefault(
+                            (context, target), []
+                        ).append(sources)
+        # ``.get(..., False)``: an UNKNOWN verdict has no cache entry and
+        # reads as "not proven summarizable" - sound, because every caller
+        # uses a positive verdict only to *replace* a base scan.
         return [
-            self._summarizable_cache[(context, target, sources)]
+            self._summarizable_cache.get((context, target, sources), False)
             for target, sources in pairs
         ]
 
@@ -347,24 +372,37 @@ class AggregateNavigator:
                 )
                 candidates.append((total, combo))
         candidates.sort()
+        batch_verdicts: Dict[FrozenSet[Category], bool] = {}
         if self.engine is not None and self.schema is not None and candidates:
             # Batch every candidate check through the engine up front: the
             # verdicts land in the local cache, so the cost-ordered loop
             # below only does lookups.  (This trades the sequential path's
             # first-hit early exit for one deduped concurrent batch.)
-            self.summarizable_many(
-                (target, combo)
+            todo = [
+                combo
                 for _total, combo in candidates
-                if not any(
-                    subset < frozenset(combo) for subset in proven
-                )
-            )
+                if not any(subset < frozenset(combo) for subset in proven)
+            ]
+            verdicts = self.summarizable_many((target, combo) for combo in todo)
+            batch_verdicts = {
+                frozenset(combo): verdict
+                for combo, verdict in zip(todo, verdicts)
+            }
         for _total, combo in candidates:
             combo_set = frozenset(combo)
             if any(subset < combo_set for subset in proven):
                 self.stats.supersets_skipped += 1
                 continue
-            if self._is_summarizable(target, combo_set):
+            # Read the batch result directly rather than through
+            # ``_is_summarizable``: an UNKNOWN verdict left no cache entry,
+            # and re-deciding it sequentially here would re-expose this
+            # query to the very fault the ladder already degraded around.
+            verdict = (
+                batch_verdicts[combo_set]
+                if combo_set in batch_verdicts
+                else self._is_summarizable(target, combo_set)
+            )
+            if verdict:
                 views = [self._views[(c, aggregate.name, measure)] for c in combo]
                 return combo, views
         return None

@@ -135,8 +135,18 @@ class _SummarizabilityCache:
             (self.schema, ("summarizable", target, tuple(sorted(sources))))
             for target, sources in missing
         ]
-        for key, verdict in zip(missing, self.engine.decide_many(requests)):
-            self._cache[key] = verdict
+        if hasattr(self.engine, "decide_many_outcomes"):
+            # Resilient engine: an UNKNOWN check stays out of the local
+            # dict, so :meth:`check` recomputes it sequentially on demand
+            # instead of ever trusting a degraded verdict.
+            for key, outcome in zip(
+                missing, self.engine.decide_many_outcomes(requests)
+            ):
+                if not outcome.unknown:
+                    self._cache[key] = outcome.verdict
+        else:
+            for key, verdict in zip(missing, self.engine.decide_many(requests)):
+                self._cache[key] = verdict
 
     def check(self, target: Category, sources: FrozenSet[Category]) -> bool:
         key = (target, sources)

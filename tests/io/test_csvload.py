@@ -58,6 +58,27 @@ class TestDimensionCsv:
         with pytest.raises(SchemaError):
             instance_from_csv(loc_hierarchy, text)
 
+    def test_parent_category_without_parent_rejected(self, loc_hierarchy):
+        """Regression: ``s1,Store,,City,`` used to load silently, dropping
+        the City declaration the author plainly intended.  Now it raises
+        with the offending line number and member."""
+        text = (
+            "member,category,parent,parent_category,name\n"
+            "Toronto,City,,,\n"
+            "s1,Store,,City,\n"
+        )
+        with pytest.raises(SchemaError, match=r"line 3.*'s1'.*'City'"):
+            instance_from_csv(loc_hierarchy, text)
+
+    def test_parentless_row_still_loads(self, loc_hierarchy):
+        """Both columns empty stays the legitimate parentless-member form."""
+        text = (
+            "member,category,parent,parent_category,name\n"
+            "Canada,Country,,,\n"
+        )
+        instance = instance_from_csv(loc_hierarchy, text)
+        assert "Canada" in instance
+
 
 FACT_CSV = """member,sales,profit
 s1,10.5,2.0

@@ -50,6 +50,85 @@ class TestApplyDelta:
         with pytest.raises(OlapError):
             apply_delta(loc_instance, view, foreign)
 
+    def test_rebuilt_equal_instance_accepted(self, loc_instance):
+        """A structurally equal reload of the same dimension is fine -
+        the guard must not over-reject the nightly-rebuild case."""
+        from repro.generators.location import location_instance
+        from repro.olap import SUM
+
+        base = FactTable(loc_instance, BASE_ROWS)
+        view = cube_view(base, "Country", SUM, "sales")
+        rebuilt = location_instance()
+        assert rebuilt is not loc_instance
+        delta = FactTable(rebuilt, DELTA_ROWS)
+        patched = apply_delta(loc_instance, view, delta)
+        full = FactTable(loc_instance, BASE_ROWS + DELTA_ROWS)
+        assert views_equal(patched, cube_view(full, "Country", SUM, "sales"))
+
+    def test_unknown_delta_member_rejected(self, loc_instance, chain_hierarchy):
+        """Regression: the guard used to compare only hierarchies, so a
+        delta over a same-hierarchy instance with *different members*
+        slipped through and merged cells under the wrong ancestors."""
+        from repro.core.instance import DimensionInstance
+        from repro.olap import SUM
+
+        a = DimensionInstance(
+            chain_hierarchy,
+            members={"d1": "Day", "jan": "Month", "y": "Year"},
+            child_parent=[("d1", "jan"), ("jan", "y")],
+        )
+        b = DimensionInstance(
+            chain_hierarchy,
+            members={"d9": "Day", "jan": "Month", "y": "Year"},
+            child_parent=[("d9", "jan"), ("jan", "y")],
+        )
+        view = cube_view(FactTable(a, [("d1", {"sales": 1.0})]), "Month", SUM, "sales")
+        delta = FactTable(b, [("d9", {"sales": 2.0})])
+        with pytest.raises(OlapError, match="d9"):
+            apply_delta(a, view, delta)
+
+    def test_divergent_rollup_rejected(self, chain_hierarchy):
+        """Regression: a shared member that rolls up *differently* in the
+        delta's instance would merge its measures into the wrong cells."""
+        from repro.core.instance import DimensionInstance
+        from repro.olap import SUM
+
+        a = DimensionInstance(
+            chain_hierarchy,
+            members={"d1": "Day", "jan": "Month", "feb": "Month", "y": "Year"},
+            child_parent=[("d1", "jan"), ("jan", "y"), ("feb", "y")],
+        )
+        b = DimensionInstance(
+            chain_hierarchy,
+            members={"d1": "Day", "jan": "Month", "feb": "Month", "y": "Year"},
+            child_parent=[("d1", "feb"), ("jan", "y"), ("feb", "y")],
+        )
+        view = cube_view(FactTable(a, [("d1", {"sales": 1.0})]), "Month", SUM, "sales")
+        delta = FactTable(b, [("d1", {"sales": 2.0})])
+        with pytest.raises(OlapError, match="d1"):
+            apply_delta(a, view, delta)
+
+    def test_divergent_category_rejected(self, chain_hierarchy):
+        """A member that is a Day in the delta but a Month in the view's
+        instance is named in the error."""
+        from repro.core.instance import DimensionInstance
+        from repro.olap import SUM
+
+        a = DimensionInstance(
+            chain_hierarchy,
+            members={"d1": "Day", "x": "Month", "y": "Year"},
+            child_parent=[("d1", "x"), ("x", "y")],
+        )
+        b = DimensionInstance(
+            chain_hierarchy,
+            members={"x": "Day", "jan": "Month", "y": "Year"},
+            child_parent=[("x", "jan"), ("jan", "y")],
+        )
+        view = cube_view(FactTable(a, [("d1", {"sales": 1.0})]), "Month", SUM, "sales")
+        delta = FactTable(b, [("x", {"sales": 2.0})])
+        with pytest.raises(OlapError, match="'x'"):
+            apply_delta(a, view, delta)
+
 
 class TestMaintainedNavigator:
     def test_views_follow_appends(self, loc_instance, loc_schema):
