@@ -1,0 +1,291 @@
+"""Bench regression watchdog: compare a fresh smoke run to the trajectory.
+
+The repo keeps its committed performance trajectory at the root - the
+``BENCH_*.json`` documents ``benchmarks/bench_suite.py --quick`` wrote on
+the run that landed each PR.  This tool re-reads those documents next to
+a fresh run's output directory and fails when any **gated metric** got
+more than ``--tolerance`` (default 15%) worse, so a perf regression
+fails CI with a diff-sized explanation instead of drowning in a JSON
+diff.
+
+Every gated metric is normalized to a **cost ratio** (higher = worse):
+a speedup of 3x becomes cost 1/3, an overhead of +2% becomes cost 1.02.
+The regression test is then uniform - ``fresh_cost / baseline_cost - 1 >
+tolerance`` - regardless of whether the underlying number was
+higher-better or lower-better.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/watchdog.py \
+        --baseline . --fresh fresh-bench --output fresh-bench/WATCHDOG.json
+
+    python benchmarks/watchdog.py --self-test
+
+Exit codes: 0 all gated metrics within tolerance (or self-test passed),
+1 at least one regression (or self-test failed), 2 usage errors
+(missing files, malformed documents).
+
+Pure stdlib on purpose: the watchdog must be able to condemn a broken
+tree, so it imports nothing from ``repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: The committed trajectory: (file, path-into-the-document, direction).
+#: ``speedup`` metrics are higher-better (cost = 1/value); ``overhead``
+#: metrics are lower-better percentages (cost = 1 + value/100).
+GATED_METRICS: Tuple[Tuple[str, Tuple[str, ...], str], ...] = (
+    ("BENCH_1.json", ("total", "speedup"), "speedup"),
+    ("BENCH_2.json", ("speedup",), "speedup"),
+    ("BENCH_4.json", ("overhead_pct",), "overhead"),
+    ("BENCH_5.json", ("overhead_pct",), "overhead"),
+)
+
+
+class WatchdogError(Exception):
+    """A usage-level failure (missing file, malformed document)."""
+
+
+def _load(path: Path) -> Dict[str, Any]:
+    if not path.is_file():
+        raise WatchdogError(f"missing benchmark document: {path}")
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise WatchdogError(f"unreadable benchmark document {path}: {error}")
+    if not isinstance(document, dict):
+        raise WatchdogError(f"benchmark document {path} is not a JSON object")
+    return document
+
+
+def _extract(document: Dict[str, Any], keys: Sequence[str], path: Path) -> float:
+    node: Any = document
+    for key in keys:
+        if not isinstance(node, dict) or key not in node:
+            raise WatchdogError(
+                f"{path}: missing gated metric {'.'.join(keys)!r}"
+            )
+        node = node[key]
+    if not isinstance(node, (int, float)) or isinstance(node, bool):
+        raise WatchdogError(
+            f"{path}: gated metric {'.'.join(keys)!r} is not a number"
+        )
+    return float(node)
+
+
+def _cost(value: float, direction: str) -> float:
+    """The metric as a cost ratio (higher = worse)."""
+    if direction == "speedup":
+        if value <= 0:
+            raise WatchdogError(f"non-positive speedup {value!r}")
+        return 1.0 / value
+    # Overhead percentage; -100% would be a zero-cost run.
+    cost = 1.0 + value / 100.0
+    if cost <= 0:
+        raise WatchdogError(f"overhead {value!r}%% implies non-positive cost")
+    return cost
+
+
+def compare(
+    baseline_dir: Path, fresh_dir: Path, tolerance: float
+) -> Dict[str, Any]:
+    """The watchdog verdict over every gated metric.
+
+    Returns the report document (also what ``--output`` writes): one row
+    per gated metric with both raw values, both cost ratios, the
+    relative cost change, and the per-row verdict.
+    """
+    rows: List[Dict[str, Any]] = []
+    for filename, keys, direction in GATED_METRICS:
+        baseline_path = baseline_dir / filename
+        fresh_path = fresh_dir / filename
+        baseline_value = _extract(_load(baseline_path), keys, baseline_path)
+        fresh_value = _extract(_load(fresh_path), keys, fresh_path)
+        baseline_cost = _cost(baseline_value, direction)
+        fresh_cost = _cost(fresh_value, direction)
+        change = fresh_cost / baseline_cost - 1.0
+        rows.append(
+            {
+                "file": filename,
+                "metric": ".".join(keys),
+                "direction": direction,
+                "baseline": baseline_value,
+                "fresh": fresh_value,
+                "baseline_cost": baseline_cost,
+                "fresh_cost": fresh_cost,
+                "cost_change_pct": change * 100.0,
+                "regressed": change > tolerance,
+            }
+        )
+    regressions = [row for row in rows if row["regressed"]]
+    return {
+        "baseline": str(baseline_dir),
+        "fresh": str(fresh_dir),
+        "tolerance_pct": tolerance * 100.0,
+        "metrics": rows,
+        "regressions": len(regressions),
+        "ok": not regressions,
+    }
+
+
+def render(report: Dict[str, Any]) -> str:
+    lines = [
+        f"bench watchdog: baseline {report['baseline']} vs "
+        f"fresh {report['fresh']} "
+        f"(tolerance {report['tolerance_pct']:.0f}%)"
+    ]
+    for row in report["metrics"]:
+        verdict = "REGRESSED" if row["regressed"] else "ok"
+        lines.append(
+            f"  {row['file']:<14} {row['metric']:<14} "
+            f"{row['baseline']:>10.4f} -> {row['fresh']:>10.4f} "
+            f"(cost {row['cost_change_pct']:+6.1f}%)  {verdict}"
+        )
+    lines.append(
+        "WATCHDOG FAIL: "
+        f"{report['regressions']} gated metric(s) regressed"
+        if not report["ok"]
+        else "WATCHDOG OK: every gated metric within tolerance"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Self-test (``--self-test``): the watchdog must catch a synthetic 25%
+# regression and pass identical documents, with no real bench run.
+# ----------------------------------------------------------------------
+
+
+def _synthetic_documents() -> Dict[str, Dict[str, Any]]:
+    """A plausible trajectory: one document per gated file."""
+    return {
+        "BENCH_1.json": {"total": {"speedup": 4.0}},
+        "BENCH_2.json": {"speedup": 3.0},
+        "BENCH_4.json": {"overhead_pct": 2.0},
+        "BENCH_5.json": {"overhead_pct": 1.0},
+    }
+
+
+def _degrade(document: Dict[str, Any], keys: Sequence[str], direction: str,
+             factor: float) -> None:
+    """Make one gated metric ``factor`` times more costly, in place."""
+    node = document
+    for key in keys[:-1]:
+        node = node[key]
+    value = node[keys[-1]]
+    if direction == "speedup":
+        node[keys[-1]] = value / factor
+    else:
+        node[keys[-1]] = ((1.0 + value / 100.0) * factor - 1.0) * 100.0
+
+
+def self_test(tmp_root: Path, tolerance: float = 0.15) -> List[str]:
+    """Failures (empty = pass) of the two self-test scenarios."""
+    failures: List[str] = []
+    baseline_dir = tmp_root / "baseline"
+    identical_dir = tmp_root / "identical"
+    degraded_dir = tmp_root / "degraded"
+    documents = _synthetic_documents()
+    for directory in (baseline_dir, identical_dir, degraded_dir):
+        directory.mkdir(parents=True, exist_ok=True)
+        for filename, document in documents.items():
+            (directory / filename).write_text(
+                json.dumps(document) + "\n", encoding="utf-8"
+            )
+    for filename, keys, direction in GATED_METRICS:
+        document = json.loads(
+            (degraded_dir / filename).read_text(encoding="utf-8")
+        )
+        _degrade(document, keys, direction, factor=1.25)
+        (degraded_dir / filename).write_text(
+            json.dumps(document) + "\n", encoding="utf-8"
+        )
+
+    identical = compare(baseline_dir, identical_dir, tolerance)
+    if not identical["ok"]:
+        failures.append(
+            "identical documents flagged as regressed:\n" + render(identical)
+        )
+    degraded = compare(baseline_dir, degraded_dir, tolerance)
+    flagged = [row["file"] for row in degraded["metrics"] if row["regressed"]]
+    expected = [filename for filename, _, _ in GATED_METRICS]
+    if flagged != expected:
+        failures.append(
+            f"synthetic 25% regression flagged {flagged}, expected "
+            f"{expected}:\n" + render(degraded)
+        )
+    return failures
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).resolve().parent.parent),
+        help="directory holding the committed BENCH_*.json trajectory "
+        "(default: the repo root)",
+    )
+    parser.add_argument(
+        "--fresh",
+        default=None,
+        help="directory holding the fresh run's BENCH_*.json documents",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="where to write the JSON watchdog report",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="maximum tolerated relative cost increase per gated metric "
+        "(default 0.15 = 15%%)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the watchdog itself: identical documents must pass "
+        "and a synthetic 25%% regression must flag every gated metric",
+    )
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="watchdog-selftest-") as tmp:
+            failures = self_test(Path(tmp), tolerance=args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"SELF-TEST FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(
+            "SELF-TEST OK: identical trajectory passes, synthetic 25% "
+            "regression flags every gated metric"
+        )
+        return 0
+
+    if args.fresh is None:
+        print("error: --fresh DIR is required (or --self-test)", file=sys.stderr)
+        return 2
+    try:
+        report = compare(Path(args.baseline), Path(args.fresh), args.tolerance)
+    except WatchdogError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.output:
+        output = Path(args.output)
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(render(report))
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

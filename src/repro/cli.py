@@ -41,10 +41,29 @@ Subcommands
     ``summarizable``) with the trace layer enabled and print the verdict
     together with every recorded span and event; ``--json`` emits the
     raw trace document instead of the text rendering.
+``audit-verify LOG``
+    Replay a decision audit log (an ``audit.jsonl`` file or the
+    telemetry directory containing one) against the sequential kernel
+    and fail on any byte-level divergence between recorded and
+    recomputed verdicts.  Exit code 1 on divergence.
+``report --telemetry DIR``
+    Operator report over a telemetry directory: p50/p95/p99 latency per
+    decision kind, cache hit rates, resilience counters, top spans.
+    (``report SCHEMA`` remains the markdown schema report.)
 
 The global ``--emit-metrics PATH`` flag writes a JSON snapshot of the
 process-wide metrics registry (counters, gauges, histograms) after any
 command, successful or not.
+
+The global ``--telemetry-dir DIR`` flag turns the full export pipeline
+on for the command: spans/events stream to ``spans.jsonl`` /
+``events.jsonl``, every decision appends to the durable
+``audit.jsonl`` log (with the ``schemas.jsonl`` sidecar that makes it
+replayable), and on exit the directory gains ``metrics.json``,
+``metrics.prom`` (Prometheus text exposition), ``trace.json`` (Chrome
+trace-event / Perfetto flamegraph), and a ``MANIFEST.json`` with the
+drop counters.  Off, the instrumented hot paths cost one attribute
+check.
 
 Resilience flags: ``--retries N`` serves decisions through the
 :class:`~repro.core.resilience.ResilientDecisionEngine` (retry with
@@ -272,11 +291,30 @@ def _cmd_show(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.telemetry is not None:
+        if args.schema is not None:
+            raise ReproError(
+                "report takes either a SCHEMA or --telemetry DIR, not both"
+            )
+        from repro.core.telemetry import render_report
+
+        print(render_report(args.telemetry))
+        return 0
+    if args.schema is None:
+        raise ReproError("report needs a SCHEMA (or --telemetry DIR)")
     from repro.io.markdown import schema_report
 
     schema = _load_schema(args.schema)
     print(schema_report(schema, root=args.root))
     return 0
+
+
+def _cmd_audit_verify(args: argparse.Namespace) -> int:
+    from repro.core.auditlog import verify_audit_log
+
+    report = verify_audit_log(args.log, args.schemas)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_normalize(args: argparse.Namespace) -> int:
@@ -404,6 +442,16 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics registry (counters, gauges, histograms) to PATH",
     )
     parser.add_argument(
+        "--telemetry-dir",
+        metavar="DIR",
+        default=None,
+        help="turn the telemetry export pipeline on for the command: "
+        "stream spans/events and the per-decision audit log (with its "
+        "replayable schema sidecar) to DIR, and render metrics.json, "
+        "metrics.prom (Prometheus), and trace.json (Chrome trace / "
+        "Perfetto flamegraph) on exit",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -486,11 +534,21 @@ def build_parser() -> argparse.ArgumentParser:
     show.set_defaults(handler=_cmd_show)
 
     rep = sub.add_parser(
-        "report", help="full markdown report (hierarchy, constraints, "
-        "profile, frozen dimensions, summarizability matrix)"
+        "report", help="full markdown report for a SCHEMA (hierarchy, "
+        "constraints, profile, frozen dimensions, summarizability "
+        "matrix), or --telemetry DIR for the operator report over a "
+        "telemetry directory (latency quantiles per decision kind, "
+        "cache hit rates, resilience counters, top spans)"
     )
-    rep.add_argument("schema")
+    rep.add_argument("schema", nargs="?", default=None)
     rep.add_argument("--root", default=None)
+    rep.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="render the operator report over this telemetry directory "
+        "instead of a schema report",
+    )
     rep.set_defaults(handler=_cmd_report)
 
     norm = sub.add_parser(
@@ -532,13 +590,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.set_defaults(handler=_cmd_trace)
 
+    verify = sub.add_parser(
+        "audit-verify",
+        help="replay a decision audit log against the sequential kernel "
+        "and fail on any verdict divergence",
+    )
+    verify.add_argument(
+        "log",
+        help="the audit.jsonl file, or the telemetry directory "
+        "containing audit.jsonl and schemas.jsonl",
+    )
+    verify.add_argument(
+        "--schemas",
+        metavar="PATH",
+        default=None,
+        help="the schema sidecar (default: schemas.jsonl next to the log)",
+    )
+    verify.set_defaults(handler=_cmd_audit_verify)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    pipeline = None
+    telemetry_dir = getattr(args, "telemetry_dir", None)
     try:
+        if telemetry_dir:
+            if args.command == "audit-verify" and Path(args.log).resolve() in (
+                Path(telemetry_dir).resolve(),
+                Path(telemetry_dir).resolve() / "audit.jsonl",
+            ):
+                # Opening the pipeline truncates the very log the verify
+                # would replay; make the foot-gun an error instead.
+                print(
+                    "error: audit-verify cannot replay the log inside the "
+                    "active --telemetry-dir (it would be truncated); "
+                    "point --telemetry-dir somewhere else",
+                    file=sys.stderr,
+                )
+                return 2
+            from repro.core.telemetry import TelemetryPipeline
+
+            pipeline = TelemetryPipeline(telemetry_dir).install()
         spec = getattr(args, "inject_faults", None)
         if spec:
             with inject_faults(spec):
@@ -560,6 +655,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     finally:
+        if pipeline is not None:
+            pipeline.finalize()
         if getattr(args, "cache_stats", False):
             from repro.core.decisioncache import default_decision_cache
 

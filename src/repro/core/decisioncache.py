@@ -28,10 +28,12 @@ The cache is shared by :mod:`repro.core.implication`,
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import asdict, astuple, dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, Optional, Tuple
 
 from repro._types import Category
+from repro.core.auditlog import AUDIT
 from repro.core.faults import FAULTS, CacheStoreFault
 from repro.core.metrics import METRICS
 from repro.core.trace import TRACER
@@ -144,9 +146,28 @@ class DecisionCache:
             )
         if hit_value is not miss:
             _M_HITS.inc()
+            if AUDIT.enabled:
+                # Cache hits are verdicts served too: the audit log must
+                # show *every* answer the service gave, not only the ones
+                # it computed.  ``key`` is ``(kind, query..., options)``.
+                AUDIT.record_decision(
+                    schema, key[:-1], key[-1], hit_value, 0.0, cache_hit=True
+                )
             return hit_value
         _M_MISSES.inc()
-        value = compute()
+        if AUDIT.enabled:
+            start = time.perf_counter()
+            value = compute()
+            AUDIT.record_decision(
+                schema,
+                key[:-1],
+                key[-1],
+                value,
+                (time.perf_counter() - start) * 1000.0,
+                cache_hit=False,
+            )
+        else:
+            value = compute()
         try:
             FAULTS.cache_store()
             with self._lock:

@@ -24,6 +24,7 @@ same signals process-wide.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Optional
@@ -118,6 +119,16 @@ class Histogram:
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
 
+    @property
+    def reservoir_dropped(self) -> int:
+        """Observations no longer in the quantile reservoir.
+
+        Non-zero means the quantiles cover only the most recent
+        ``len(_recent)`` observations - long-run snapshots advertise
+        their reservoir bias instead of hiding it.
+        """
+        return self.count - len(self._recent)
+
     def as_json(self) -> Dict[str, Any]:
         return {
             "count": self.count,
@@ -127,6 +138,8 @@ class Histogram:
             "max": self.max,
             "p50": self.quantile(0.5),
             "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "reservoir_dropped": self.reservoir_dropped,
         }
 
 
@@ -230,7 +243,14 @@ def metrics_registry() -> MetricsRegistry:
 
 def emit_metrics(path: str) -> Dict[str, Any]:
     """Write the process-wide snapshot to ``path`` (the CLI's
-    ``--emit-metrics``); returns the snapshot."""
+    ``--emit-metrics``); returns the snapshot.
+
+    Missing parent directories are created - an operator pointing
+    ``--emit-metrics`` into a fresh run directory should get a snapshot,
+    not a ``FileNotFoundError``.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
     snapshot = METRICS.snapshot()
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(snapshot, handle, indent=2, sort_keys=True)

@@ -74,6 +74,7 @@ from repro.constraints.ast import Node, Not
 from repro.constraints.atoms import validate_constraint
 from repro.constraints.parser import parse
 from repro.constraints.printer import unparse
+from repro.core.auditlog import AUDIT
 from repro.core.budget import BudgetSpec, DecisionBudget, DecisionCancelled
 from repro.core.decisioncache import (
     USE_DEFAULT_CACHE,
@@ -694,13 +695,38 @@ def _decide(
     cache: Optional[DecisionCache],
     budget: Optional[DecisionBudget],
 ) -> bool:
-    from repro.core.implication import is_category_satisfiable
-    from repro.core.summarizability import is_summarizable_in_schema
-
     # The per-decision fault checkpoint: every batch worker (thread or
     # process) and the sequential fallback pass through here, so injected
     # worker faults hit all rungs of the resilience ladder uniformly.
     FAULTS.worker()
+    if cache is not None or not AUDIT.enabled:
+        # Cached decisions are audited inside DecisionCache.memoize
+        # (which also knows the hit/miss flag); only the uncached path
+        # needs a record here.
+        return _dispatch(schema, key, options, cache, budget)
+    start = time.perf_counter()
+    verdict = _dispatch(schema, key, options, cache, budget)
+    AUDIT.record_decision(
+        schema,
+        key,
+        _options_key(options),
+        verdict,
+        (time.perf_counter() - start) * 1000.0,
+        cache_hit=False,
+    )
+    return verdict
+
+
+def _dispatch(
+    schema: DimensionSchema,
+    key: RequestKey,
+    options: Optional[DimsatOptions],
+    cache: Optional[DecisionCache],
+    budget: Optional[DecisionBudget],
+) -> bool:
+    from repro.core.implication import is_category_satisfiable
+    from repro.core.summarizability import is_summarizable_in_schema
+
     kind = key[0]
     if kind == "dimsat":
         return is_category_satisfiable(schema, key[1], options, cache, budget)

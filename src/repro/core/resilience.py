@@ -45,6 +45,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro._types import Category
+from repro.core.auditlog import AUDIT
 from repro.core.dimsat import DimsatResult, dimsat
 from repro.core.faults import FAULTS
 from repro.core.implication import ImplicationResult, implies as run_implies
@@ -358,9 +359,12 @@ class ResilientDecisionEngine:
         label: str,
         parallel_run: Callable[[], Any],
         sequential_run: Callable[[], Any],
+        request: Optional[Tuple[Any, ...]] = None,
     ) -> Any:
         """Single-decision ladder; raises ``DecisionUnavailable`` at the
-        bottom."""
+        bottom.  ``request`` is the canonical request key, recorded on the
+        audit log when every rung fails (successful rungs are audited at
+        the cache/kernel layer they answer from)."""
         self.stats.decisions += 1
         fingerprint = schema.fingerprint()
         token = zlib.crc32(f"{label}:{fingerprint}".encode("utf-8"))
@@ -407,6 +411,10 @@ class ResilientDecisionEngine:
                 TRACER.event(
                     "resilience.unknown", kind=label, attempts=total_attempts
                 )
+            if AUDIT.enabled and request is not None:
+                AUDIT.record_unknown(
+                    schema, request, total_attempts, failures
+                )
         raise DecisionUnavailable(
             f"{label} decision unavailable after {total_attempts} attempts "
             f"({', '.join(sorted({f.error_type for f in failures}))})",
@@ -434,6 +442,7 @@ class ResilientDecisionEngine:
             "dimsat",
             lambda: self.engine.dimsat(schema, category),
             sequential,
+            request=("dimsat", category),
         )
 
     def is_satisfiable(self, schema: DimensionSchema, category: Category) -> bool:
@@ -460,6 +469,7 @@ class ResilientDecisionEngine:
             "implies",
             lambda: self.engine.implies(schema, constraint),
             sequential,
+            request=normalize_request(("implies", constraint)),
         )
 
     def is_implied(self, schema: DimensionSchema, constraint: object) -> bool:
@@ -491,6 +501,7 @@ class ResilientDecisionEngine:
             "summarizable",
             lambda: self.engine.is_summarizable(schema, target, source_key),
             sequential,
+            request=("summarizable", target, source_key),
         )
 
     # ------------------------------------------------------------------
@@ -643,6 +654,10 @@ class ResilientDecisionEngine:
                         "resilience.unknown",
                         kind=str(key[0]),
                         attempts=attempts_made[index],
+                    )
+                if AUDIT.enabled:
+                    AUDIT.record_unknown(
+                        schema, key, attempts_made[index], failures[index]
                     )
                 outcomes[index] = DecisionOutcome(
                     verdict=None,

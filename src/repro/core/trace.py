@@ -39,7 +39,31 @@ import json
 import threading
 import time
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional, Protocol
+
+
+class SpanSink(Protocol):
+    """Where a tracer streams finished spans and events (in addition to
+    its ring buffers).
+
+    The telemetry pipeline (:mod:`repro.core.telemetry`) implements this
+    protocol with a bounded background writer, so a long-lived service
+    can ship every span to disk without unbounded memory and without
+    blocking the decision path.  Sink calls happen on the instrumented
+    thread and therefore must never block; the pipeline's implementation
+    drops (and counts) instead of waiting.
+
+    ``export_span`` receives the finished :class:`TraceSpan` itself (not
+    a dict): a finished span is immutable, and deferring
+    :meth:`TraceSpan.as_dict` to the sink's writer thread keeps the
+    decision path from paying for its own observability.
+    ``export_event`` receives the JSON-ready event record (the tracer
+    builds that dict for its ring buffer anyway).
+    """
+
+    def export_span(self, span: "TraceSpan") -> None: ...
+
+    def export_event(self, event: Dict[str, Any]) -> None: ...
 
 
 class _NullSpan:
@@ -86,6 +110,7 @@ class TraceSpan:
         "name",
         "span_id",
         "parent_id",
+        "tid",
         "attrs",
         "start_ms",
         "duration_ms",
@@ -98,6 +123,7 @@ class TraceSpan:
         self.name = name
         self.span_id = next(tracer._ids)
         self.parent_id: Optional[int] = None
+        self.tid = 0
         self.attrs = attrs
         self.start_ms = 0.0
         self.duration_ms: Optional[float] = None
@@ -109,6 +135,7 @@ class TraceSpan:
         if stack:
             self.parent_id = stack[-1].span_id
         stack.append(self)
+        self.tid = threading.get_ident()
         self._start = time.perf_counter()
         self.start_ms = (self._start - self.tracer._epoch) * 1000.0
         return self
@@ -135,6 +162,7 @@ class TraceSpan:
         return {
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "tid": self.tid,
             "name": self.name,
             "start_ms": self.start_ms,
             "duration_ms": self.duration_ms,
@@ -155,6 +183,14 @@ class Tracer:
     def __init__(self, max_entries: int = 4096) -> None:
         self.enabled = False
         self.max_entries = max_entries
+        #: Optional :class:`SpanSink` streaming finished spans/events out
+        #: of the process (the telemetry pipeline); ``None`` costs one
+        #: attribute read per finished span.
+        self.sink: Optional[SpanSink] = None
+        #: Ring-buffer overflow counts: entries the bounded deques pushed
+        #: out, so a truncated trace is detectable from its snapshot.
+        self.dropped_spans = 0
+        self.dropped_events = 0
         self._epoch = time.perf_counter()
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
@@ -200,11 +236,19 @@ class Tracer:
             "attrs": _jsonable(attrs),
         }
         with self._lock:
+            if len(self._events) == self._events.maxlen:
+                self.dropped_events += 1
             self._events.append(record)
+        if self.sink is not None:
+            self.sink.export_event(record)
 
     def _finish(self, span: TraceSpan) -> None:
         with self._lock:
+            if len(self._spans) == self._spans.maxlen:
+                self.dropped_spans += 1
             self._spans.append(span)
+        if self.sink is not None:
+            self.sink.export_span(span)
 
     def _stack(self) -> List[TraceSpan]:
         stack = getattr(self._local, "stack", None)
@@ -228,6 +272,8 @@ class Tracer:
         with self._lock:
             self._spans.clear()
             self._events.clear()
+            self.dropped_spans = 0
+            self.dropped_events = 0
             self._epoch = time.perf_counter()
             self._ids = itertools.count(1)
 
@@ -263,6 +309,8 @@ class Tracer:
         return {
             "enabled": self.enabled,
             "max_entries": self.max_entries,
+            "dropped_spans": self.dropped_spans,
+            "dropped_events": self.dropped_events,
             "spans": self.spans(),
             "events": self.events(),
             "summary": self.summary(),

@@ -44,6 +44,9 @@ from repro.olap.cubeview import CubeView, cube_view, recombine
 from repro.olap.facttable import FactTable
 
 _M_QUERIES = METRICS.counter("navigator.queries")
+#: Checks a resilient engine answered UNKNOWN (treated as not-proven;
+#: process-wide so the telemetry report can surface degraded navigation).
+_M_UNKNOWN = METRICS.counter("navigator.unknown_verdicts")
 
 
 @dataclass(frozen=True)
@@ -290,6 +293,14 @@ class AggregateNavigator:
                     self.stats.summarizability_checks += 1
                     if outcome.unknown:
                         self.stats.unknown_verdicts += 1
+                        _M_UNKNOWN.inc()
+                        if TRACER.enabled:
+                            TRACER.event(
+                                "navigator.unknown",
+                                target=target,
+                                sources=sorted(sources),
+                                attempts=outcome.attempts,
+                            )
                         continue
                     self._summarizable_cache[(context, target, sources)] = (
                         outcome.verdict

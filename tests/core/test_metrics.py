@@ -87,6 +87,23 @@ class TestHistogram:
         # Quantiles reflect only the most recent window.
         assert h.quantile(0.0) >= 984.0
 
+    def test_as_json_carries_p99_and_reservoir_dropped(self):
+        h = Histogram("h", reservoir=16)
+        for value in range(1, 101):
+            h.observe(float(value))
+        data = h.as_json()
+        assert data["p99"] == h.quantile(0.99)
+        # 100 observations into a 16-slot reservoir: 84 fell out, and
+        # the snapshot advertises the quantile bias instead of hiding it.
+        assert data["reservoir_dropped"] == 84
+        assert h.reservoir_dropped == 84
+
+    def test_unbounded_reservoir_reports_zero_dropped(self):
+        h = Histogram("h")
+        for value in (1.0, 2.0):
+            h.observe(value)
+        assert h.as_json()["reservoir_dropped"] == 0
+
 
 class TestRegistry:
     def test_get_or_create_returns_the_same_object(self):
@@ -128,6 +145,11 @@ class TestEmit:
         on_disk = json.loads(path.read_text())
         assert on_disk == snapshot
         assert on_disk["counters"]["test_metrics.emitted"] >= 1
+
+    def test_emit_metrics_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "ci" / "artifacts" / "metrics.json"
+        snapshot = emit_metrics(str(path))
+        assert json.loads(path.read_text()) == snapshot
 
     def test_kernel_work_lands_in_the_registry(self):
         from repro.core.dimsat import dimsat

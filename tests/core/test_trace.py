@@ -130,6 +130,67 @@ class TestRingBuffer:
         assert spans[-1]["name"] == "s49"
         assert events[-1]["name"] == "e49"
 
+    def test_overflow_is_counted_and_surfaced_in_the_snapshot(self):
+        t = Tracer(max_entries=8)
+        t.enable()
+        for i in range(50):
+            with t.span(f"s{i}"):
+                pass
+            t.event(f"e{i}")
+        assert t.dropped_spans == 42
+        assert t.dropped_events == 42
+        snapshot = t.snapshot()
+        assert snapshot["dropped_spans"] == 42
+        assert snapshot["dropped_events"] == 42
+
+    def test_clear_resets_the_drop_counters(self):
+        t = Tracer(max_entries=2)
+        t.enable()
+        for i in range(5):
+            with t.span(f"s{i}"):
+                pass
+        assert t.dropped_spans == 3
+        t.clear()
+        assert t.dropped_spans == 0 and t.dropped_events == 0
+
+
+class TestSpanSink:
+    class Sink:
+        def __init__(self):
+            self.spans = []
+            self.events = []
+
+        def export_span(self, span):
+            self.spans.append(span)
+
+        def export_event(self, event):
+            self.events.append(event)
+
+    def test_finished_spans_stream_to_the_sink_as_objects(self):
+        from repro.core.trace import TraceSpan
+
+        t = Tracer()
+        t.enable()
+        t.sink = sink = self.Sink()
+        with t.span("outer"):
+            t.event("hit", value=1)
+        # The sink gets the finished TraceSpan itself (serialization is
+        # the sink's business, off the instrumented thread) but the
+        # JSON-ready event dict (the tracer builds it anyway).
+        (span,) = sink.spans
+        assert isinstance(span, TraceSpan)
+        assert span.as_dict()["name"] == "outer"
+        (event,) = sink.events
+        assert event["name"] == "hit" and event["attrs"] == {"value": 1}
+
+    def test_no_sink_costs_nothing_and_records_normally(self):
+        t = Tracer()
+        t.enable()
+        assert t.sink is None
+        with t.span("s"):
+            pass
+        assert [s["name"] for s in t.spans()] == ["s"]
+
 
 class TestSnapshot:
     def test_snapshot_round_trips_through_json(self):

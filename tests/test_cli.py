@@ -234,6 +234,143 @@ class TestCacheStats:
         assert "decision cache:" in captured.err
 
 
+class TestTrace:
+    def test_trace_json_round_trips_the_snapshot(self, schema_file, capsys):
+        assert (
+            main(["trace", schema_file, "implies", "Store -> City", "--json"])
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        # The document is the tracer snapshot plus the decision header:
+        # same keys, JSON-clean spans, and the summary agrees with them.
+        from repro.core.trace import tracer
+
+        snapshot_keys = set(tracer().snapshot())
+        assert snapshot_keys <= set(document)
+        assert document["verdict"] is True
+        assert document["decision"] == ["implies", "Store -> City"]
+        assert document["dropped_spans"] == 0
+        names = [span["name"] for span in document["spans"]]
+        assert "implication.decide" in names
+        for name, row in document["summary"].items():
+            assert row["count"] == names.count(name)
+
+    def test_trace_text_rendering(self, schema_file, capsys):
+        assert main(["trace", schema_file, "implies", "Store -> City"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("verdict: yes")
+        assert "implication.decide" in out
+        assert "summary:" in out
+
+
+class TestTelemetryDir:
+    def test_telemetry_dir_exports_and_audit_verify_replays(
+        self, schema_file, tmp_path, capsys
+    ):
+        directory = tmp_path / "telemetry"
+        assert (
+            main(
+                [
+                    "--telemetry-dir",
+                    str(directory),
+                    "implies",
+                    schema_file,
+                    "Store -> City",
+                ]
+            )
+            == 0
+        )
+        assert (directory / "MANIFEST.json").exists()
+        assert (directory / "audit.jsonl").read_text().strip()
+        capsys.readouterr()
+        assert main(["audit-verify", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "divergences      0" in out
+
+    def test_audit_verify_flags_a_tampered_log(
+        self, schema_file, tmp_path, capsys
+    ):
+        directory = tmp_path / "telemetry"
+        main(
+            [
+                "--telemetry-dir",
+                str(directory),
+                "implies",
+                schema_file,
+                "Store -> City",
+            ]
+        )
+        audit_path = directory / "audit.jsonl"
+        records = [
+            json.loads(line)
+            for line in audit_path.read_text().splitlines()
+            if line
+        ]
+        records[0]["verdict"] = not records[0]["verdict"]
+        audit_path.write_text(
+            "".join(json.dumps(record) + "\n" for record in records)
+        )
+        capsys.readouterr()
+        assert main(["audit-verify", str(directory)]) == 1
+        assert "DIVERGED" in capsys.readouterr().out
+
+    def test_audit_verify_refuses_the_active_telemetry_dir(
+        self, schema_file, tmp_path, capsys
+    ):
+        directory = tmp_path / "telemetry"
+        main(
+            [
+                "--telemetry-dir",
+                str(directory),
+                "implies",
+                schema_file,
+                "Store -> City",
+            ]
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "--telemetry-dir",
+                    str(directory),
+                    "audit-verify",
+                    str(directory),
+                ]
+            )
+            == 2
+        )
+        assert "truncated" in capsys.readouterr().err
+        # The guard really did protect the log: it still replays clean.
+        assert main(["audit-verify", str(directory)]) == 0
+
+    def test_report_telemetry_renders_the_operator_report(
+        self, schema_file, tmp_path, capsys
+    ):
+        directory = tmp_path / "telemetry"
+        main(
+            [
+                "--telemetry-dir",
+                str(directory),
+                "implies",
+                schema_file,
+                "Store -> City",
+            ]
+        )
+        capsys.readouterr()
+        assert main(["report", "--telemetry", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry report:" in out
+        assert "implies" in out
+
+    def test_report_rejects_schema_and_telemetry_together(
+        self, schema_file, tmp_path, capsys
+    ):
+        assert (
+            main(["report", schema_file, "--telemetry", str(tmp_path)]) == 2
+        )
+        assert "not both" in capsys.readouterr().err
+
+
 class TestWorkersAndBudget:
     def test_audit_with_workers(self, schema_file, capsys):
         assert main(["--workers", "4", "audit", schema_file]) == 0

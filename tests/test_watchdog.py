@@ -1,0 +1,190 @@
+"""Bench watchdog tests: the gated-metric comparison, the self-test,
+and the CLI exit codes."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_WATCHDOG_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "watchdog.py"
+)
+_spec = importlib.util.spec_from_file_location("watchdog", _WATCHDOG_PATH)
+watchdog = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("watchdog", watchdog)
+_spec.loader.exec_module(watchdog)
+
+
+def _write_docs(directory: Path, b1=4.0, b2=3.0, b4=2.0, b5=1.0):
+    directory.mkdir(parents=True, exist_ok=True)
+    documents = {
+        "BENCH_1.json": {"total": {"speedup": b1}},
+        "BENCH_2.json": {"speedup": b2},
+        "BENCH_4.json": {"overhead_pct": b4},
+        "BENCH_5.json": {"overhead_pct": b5},
+    }
+    for filename, document in documents.items():
+        (directory / filename).write_text(json.dumps(document) + "\n")
+
+
+class TestCompare:
+    def test_identical_trajectory_passes(self, tmp_path):
+        _write_docs(tmp_path / "baseline")
+        _write_docs(tmp_path / "fresh")
+        report = watchdog.compare(
+            tmp_path / "baseline", tmp_path / "fresh", tolerance=0.15
+        )
+        assert report["ok"] and report["regressions"] == 0
+        assert len(report["metrics"]) == 4
+
+    def test_25pct_speedup_loss_is_flagged(self, tmp_path):
+        _write_docs(tmp_path / "baseline")
+        _write_docs(tmp_path / "fresh", b2=3.0 / 1.25)
+        report = watchdog.compare(
+            tmp_path / "baseline", tmp_path / "fresh", tolerance=0.15
+        )
+        assert not report["ok"]
+        (regressed,) = [r for r in report["metrics"] if r["regressed"]]
+        assert regressed["file"] == "BENCH_2.json"
+        assert regressed["cost_change_pct"] == pytest.approx(25.0)
+
+    def test_overhead_growth_is_a_cost_ratio_not_a_pct_diff(self, tmp_path):
+        # +2% -> +7% overhead is only a ~4.9% cost increase; the 15%
+        # trajectory gate must not fire on a small absolute drift.
+        _write_docs(tmp_path / "baseline", b4=2.0)
+        _write_docs(tmp_path / "fresh", b4=7.0)
+        report = watchdog.compare(
+            tmp_path / "baseline", tmp_path / "fresh", tolerance=0.15
+        )
+        assert report["ok"]
+
+    def test_large_overhead_regression_is_flagged(self, tmp_path):
+        _write_docs(tmp_path / "baseline", b5=1.0)
+        _write_docs(tmp_path / "fresh", b5=25.0)
+        report = watchdog.compare(
+            tmp_path / "baseline", tmp_path / "fresh", tolerance=0.15
+        )
+        flagged = [r["file"] for r in report["metrics"] if r["regressed"]]
+        assert flagged == ["BENCH_5.json"]
+
+    def test_improvements_never_fail(self, tmp_path):
+        _write_docs(tmp_path / "baseline")
+        _write_docs(tmp_path / "fresh", b1=8.0, b2=6.0, b4=-2.0, b5=-3.0)
+        report = watchdog.compare(
+            tmp_path / "baseline", tmp_path / "fresh", tolerance=0.15
+        )
+        assert report["ok"]
+
+    def test_missing_document_is_a_watchdog_error(self, tmp_path):
+        _write_docs(tmp_path / "baseline")
+        (tmp_path / "fresh").mkdir()
+        with pytest.raises(watchdog.WatchdogError, match="missing"):
+            watchdog.compare(
+                tmp_path / "baseline", tmp_path / "fresh", tolerance=0.15
+            )
+
+    def test_missing_metric_is_a_watchdog_error(self, tmp_path):
+        _write_docs(tmp_path / "baseline")
+        _write_docs(tmp_path / "fresh")
+        (tmp_path / "fresh" / "BENCH_2.json").write_text("{}\n")
+        with pytest.raises(watchdog.WatchdogError, match="missing gated"):
+            watchdog.compare(
+                tmp_path / "baseline", tmp_path / "fresh", tolerance=0.15
+            )
+
+    def test_render_marks_regressions(self, tmp_path):
+        _write_docs(tmp_path / "baseline")
+        _write_docs(tmp_path / "fresh", b1=4.0 / 2.0)
+        report = watchdog.compare(
+            tmp_path / "baseline", tmp_path / "fresh", tolerance=0.15
+        )
+        text = watchdog.render(report)
+        assert "REGRESSED" in text and "WATCHDOG FAIL" in text
+
+
+class TestSelfTest:
+    def test_self_test_passes(self, tmp_path):
+        assert watchdog.self_test(tmp_path) == []
+
+    def test_self_test_catches_a_broken_comparator(self, tmp_path, monkeypatch):
+        """If the comparison stopped flagging regressions, the self-test
+        must fail - that is the point of running it in CI first."""
+        monkeypatch.setattr(
+            watchdog,
+            "compare",
+            lambda baseline, fresh, tolerance: {
+                "baseline": str(baseline),
+                "fresh": str(fresh),
+                "tolerance_pct": tolerance * 100.0,
+                "ok": True,
+                "metrics": [],
+                "regressions": 0,
+            },
+        )
+        failures = watchdog.self_test(tmp_path)
+        assert failures  # the broken comparator is detected
+
+
+class TestMain:
+    def test_exit_zero_on_clean_compare(self, tmp_path, capsys):
+        _write_docs(tmp_path / "baseline")
+        _write_docs(tmp_path / "fresh")
+        output = tmp_path / "out" / "WATCHDOG.json"
+        code = watchdog._main(
+            [
+                "--baseline",
+                str(tmp_path / "baseline"),
+                "--fresh",
+                str(tmp_path / "fresh"),
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        assert "WATCHDOG OK" in capsys.readouterr().out
+        assert json.loads(output.read_text())["ok"] is True
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        _write_docs(tmp_path / "baseline")
+        _write_docs(tmp_path / "fresh", b1=4.0 / 1.25)
+        code = watchdog._main(
+            [
+                "--baseline",
+                str(tmp_path / "baseline"),
+                "--fresh",
+                str(tmp_path / "fresh"),
+            ]
+        )
+        assert code == 1
+        assert "WATCHDOG FAIL" in capsys.readouterr().out
+
+    def test_exit_two_on_missing_documents(self, tmp_path, capsys):
+        code = watchdog._main(
+            [
+                "--baseline",
+                str(tmp_path / "nope"),
+                "--fresh",
+                str(tmp_path / "also-nope"),
+            ]
+        )
+        assert code == 2
+
+    def test_exit_two_without_fresh(self, capsys):
+        assert watchdog._main([]) == 2
+
+    def test_self_test_entry_point(self, capsys):
+        assert watchdog._main(["--self-test"]) == 0
+        assert "SELF-TEST OK" in capsys.readouterr().out
+
+    def test_committed_trajectory_is_self_consistent(self, capsys):
+        """The repo's own BENCH_*.json documents must pass the watchdog
+        against themselves (guards against malformed committed files)."""
+        root = Path(__file__).resolve().parent.parent
+        code = watchdog._main(
+            ["--baseline", str(root), "--fresh", str(root)]
+        )
+        assert code == 0
