@@ -37,6 +37,15 @@ overhead versus the tracing-enabled baseline, and
 :func:`~repro.core.auditlog.verify_audit_log` must replay the produced
 audit log (>=200 records) with zero divergences.  The numbers go to
 ``BENCH_5.json``.
+
+The compiled-tier smoke prices the PR 6 compilation rung: every suite
+schema's full decision family (category satisfiability sweep,
+implication workload, summarizability workload), answered cold
+(``cache=None`` on both sides) by the interpreted kernel vs a
+:class:`~repro.core.compile.CompiledDecisionEngine` over a resident
+artifact.  Verdicts must be byte-identical, no decision may fall back,
+and the gate fails below a 10x aggregate speedup.  The numbers go to
+``BENCH_6.json``.
 """
 
 from __future__ import annotations
@@ -658,6 +667,167 @@ def _telemetry_smoke(output_path, telemetry_dir=None, repeats=7):
     return report
 
 
+def _compiled_smoke(output_path, repeats=7):
+    """Cold decisions through the compiled tier vs the interpreted kernel.
+
+    The workload is each suite schema's decision family: a full category
+    satisfiability sweep, an implication workload, and a summarizability
+    workload - every decision distinct, so nothing can be served from a
+    verdict cache (both sides run with ``cache=None``).  The schemas are
+    *hot*: the compiled artifact (subhierarchy enumeration, CNF, CHECK
+    closures, registered queries, learned clauses) is resident before
+    the timed window, and its one-time cost is reported separately as
+    ``warmup_ms``.  The baseline answers the identical decisions with
+    the sequential interpreted kernel.
+
+    Verdicts must be byte-identical (canonical JSON of the verdict
+    list); the gate fails below a 10x aggregate speedup on the process
+    CPU clock (interleaved repeats, best-of-two samples per side per
+    repeat, ratio of per-side minima - the same discipline as the other
+    smokes).  No decision may fall back: the suite schemas are all
+    symbolic, so a fallback would mean the tier regressed.
+    """
+    from repro._types import ALL
+    from repro.core import is_category_satisfiable
+    from repro.core.compile import CompiledArtifactStore, CompiledDecisionEngine
+
+    store = CompiledArtifactStore()
+    engine = CompiledDecisionEngine(cache=None, store=store)
+
+    workloads = {}
+    warmup_ms = {}
+    for name, schema in sorted(SCHEMAS.items()):
+        categories = sorted(schema.hierarchy.categories - {ALL})
+        # The BENCH_2 traffic shape: implication and summarizability in
+        # equal measure, plus the per-category satisfiability audit.
+        impl = implication_workload(schema, n_queries=10, seed=1)
+        summ = summarizability_workload(schema, n_queries=10, seed=1)
+        workloads[name] = (schema, categories, impl, summ)
+        # Make the schema hot: compile the artifact and register every
+        # query once.  This is the amortized one-time cost the tier
+        # pays; everything after answers from the resident artifact.
+        start = time.process_time()
+        store.get(schema)
+        for category in categories:
+            engine.dimsat(schema, category)
+        for query in impl:
+            engine.is_implied(schema, query)
+        for target, sources in summ:
+            engine.is_summarizable(schema, target, sources)
+        warmup_ms[name] = (time.process_time() - start) * 1000.0
+
+    def interpreted_pass(name):
+        schema, categories, impl, summ = workloads[name]
+        verdicts = [
+            is_category_satisfiable(schema, c, cache=None) for c in categories
+        ]
+        verdicts += [is_implied(schema, q, cache=None) for q in impl]
+        verdicts += [
+            is_summarizable_in_schema(schema, t, s, cache=None)
+            for t, s in summ
+        ]
+        return verdicts
+
+    def compiled_pass(name):
+        schema, categories, impl, summ = workloads[name]
+        verdicts = [
+            engine.dimsat(schema, c).satisfiable for c in categories
+        ]
+        verdicts += [engine.is_implied(schema, q) for q in impl]
+        verdicts += [
+            engine.is_summarizable(schema, t, s) for t, s in summ
+        ]
+        return verdicts
+
+    per_schema = {}
+    interpreted_total = compiled_total = 0.0
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for name in sorted(workloads):
+            interpreted_pass(name)  # warm-up (imports, circle caches)
+            compiled_pass(name)
+            interpreted_times = []
+            compiled_times = []
+            interpreted_verdicts = compiled_verdicts = None
+            for repeat in range(repeats):
+                gc.collect()
+                # Best-of-two per side per repeat, A/B order alternating
+                # across repeats (see the resilience smoke's rationale).
+                pair_interpreted = []
+                pair_compiled = []
+                for _ in range(2):
+                    for side in (0, 1) if repeat % 2 == 0 else (1, 0):
+                        if side == 0:
+                            cpu = time.process_time()
+                            interpreted_verdicts = interpreted_pass(name)
+                            pair_interpreted.append(
+                                time.process_time() - cpu
+                            )
+                        else:
+                            cpu = time.process_time()
+                            compiled_verdicts = compiled_pass(name)
+                            pair_compiled.append(time.process_time() - cpu)
+                interpreted_times.append(min(pair_interpreted))
+                compiled_times.append(min(pair_compiled))
+            if json.dumps(compiled_verdicts) != json.dumps(
+                interpreted_verdicts
+            ):
+                raise AssertionError(
+                    f"compiled verdicts diverge on schema {name!r}"
+                )
+            interpreted_s = min(interpreted_times)
+            compiled_s = min(compiled_times)
+            interpreted_total += interpreted_s
+            compiled_total += compiled_s
+            schema, categories, impl, summ = workloads[name]
+            per_schema[name] = {
+                "decisions": len(categories) + len(impl) + len(summ),
+                "warmup_ms": warmup_ms[name],
+                "interpreted_s": interpreted_s,
+                "compiled_s": compiled_s,
+                "speedup": interpreted_s / compiled_s
+                if compiled_s
+                else float("inf"),
+                "artifact": store.get(schema).describe(),
+                "verdicts": compiled_verdicts,
+            }
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    if engine.stats.fallbacks:
+        raise AssertionError(
+            f"compiled tier fell back {engine.stats.fallbacks} times on "
+            "the suite schemas (all symbolic - must compile)"
+        )
+
+    report = {
+        "benchmark": "compiled decision tier (suite schemas)",
+        "baseline": "sequential interpreted kernel, cache=None "
+        "(every decision cold)",
+        "compiled": "CompiledDecisionEngine over a resident artifact, "
+        "cache=None (cold decisions, hot schema)",
+        "repeats": repeats,
+        "timing": "interleaved repeats after one warm-up run each, "
+        "best-of-two samples per side per repeat, process CPU clock; "
+        "per-schema and aggregate speedups are ratios of per-side "
+        "minima",
+        "schemas": per_schema,
+        "total": {
+            "interpreted_s": interpreted_total,
+            "compiled_s": compiled_total,
+            "speedup": interpreted_total / compiled_total
+            if compiled_total
+            else float("inf"),
+            "fallbacks": engine.stats.fallbacks,
+            "compiled_decisions": engine.stats.compiled_decisions,
+        },
+    }
+    output_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
 def _main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -750,6 +920,23 @@ def _main(argv=None):
         print("FAIL: audit replay diverged from the log")
         return 1
     print("OK: exporter overhead within 5%, audit log replays cleanly")
+
+    bench6_path = output_path.with_name("BENCH_6.json")
+    compiled = _compiled_smoke(bench6_path)
+    compiled_total = compiled["total"]
+    print(
+        f"compiled tier benchmark: interpreted "
+        f"{compiled_total['interpreted_s'] * 1000:.1f} ms, compiled "
+        f"{compiled_total['compiled_s'] * 1000:.1f} ms "
+        f"({compiled_total['speedup']:.1f}x cold decisions, "
+        f"{compiled_total['compiled_decisions']} served, "
+        f"{compiled_total['fallbacks']} fallbacks), "
+        f"report -> {bench6_path}"
+    )
+    if compiled_total["speedup"] < 10.0:
+        print("FAIL: compiled tier below 10x on cold decisions")
+        return 1
+    print("OK: compiled tier at or above 10x with identical verdicts")
     hot = sorted(
         parallel["trace_summary"].items(),
         key=lambda kv: kv[1]["total_ms"],

@@ -45,6 +45,7 @@ GATED_METRICS: Tuple[Tuple[str, Tuple[str, ...], str], ...] = (
     ("BENCH_2.json", ("speedup",), "speedup"),
     ("BENCH_4.json", ("overhead_pct",), "overhead"),
     ("BENCH_5.json", ("overhead_pct",), "overhead"),
+    ("BENCH_6.json", ("total", "speedup"), "speedup"),
 )
 
 
@@ -169,6 +170,7 @@ def _synthetic_documents() -> Dict[str, Dict[str, Any]]:
         "BENCH_2.json": {"speedup": 3.0},
         "BENCH_4.json": {"overhead_pct": 2.0},
         "BENCH_5.json": {"overhead_pct": 1.0},
+        "BENCH_6.json": {"total": {"speedup": 11.0}},
     }
 
 

@@ -41,6 +41,11 @@ Subcommands
     ``summarizable``) with the trace layer enabled and print the verdict
     together with every recorded span and event; ``--json`` emits the
     raw trace document instead of the text rendering.
+``compile SCHEMA``
+    Build the schema's compiled decision artifact (per-root CNF plus the
+    incremental SAT solver state) and print its shape; exit code 1 when
+    the schema is not compilable (decisions then fall back to the
+    interpreted kernel).
 ``audit-verify LOG``
     Replay a decision audit log (an ``audit.jsonl`` file or the
     telemetry directory containing one) against the sequential kernel
@@ -65,6 +70,11 @@ trace-event / Perfetto flamegraph), and a ``MANIFEST.json`` with the
 drop counters.  Off, the instrumented hot paths cost one attribute
 check.
 
+The global ``--engine compiled`` flag serves every decision through the
+per-schema compiled tier (:mod:`repro.core.compile`): the first decision
+pays one compilation, later ones are SAT calls over the artifact with
+all previously learned clauses in place.
+
 Resilience flags: ``--retries N`` serves decisions through the
 :class:`~repro.core.resilience.ResilientDecisionEngine` (retry with
 backoff, sequential degradation, typed UNKNOWN), and
@@ -86,10 +96,13 @@ from typing import List, Optional
 from repro.constraints.semantics import failures
 from repro.core import (
     ALL,
+    CompilationError,
+    CompiledDecisionEngine,
     DecisionBudget,
     ParallelDecisionEngine,
     ResilientDecisionEngine,
     RetryPolicy,
+    compiled_artifact_store,
     dimsat,
     enumerate_frozen_dimensions,
     implies,
@@ -131,9 +144,12 @@ def _engine_from_args(args: argparse.Namespace):
     workers = getattr(args, "workers", None)
     budget = _budget_from_args(args)
     retries = getattr(args, "retries", None)
-    if workers is None and budget is None and retries is None:
+    if getattr(args, "engine", None) == "compiled":
+        engine = CompiledDecisionEngine(budget=budget)
+    elif workers is None and budget is None and retries is None:
         return None
-    engine = ParallelDecisionEngine(max_workers=workers or 1, budget=budget)
+    else:
+        engine = ParallelDecisionEngine(max_workers=workers or 1, budget=budget)
     if retries is None:
         return engine
     return ResilientDecisionEngine(
@@ -421,6 +437,33 @@ def _cmd_satisfiable(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_compile(args: argparse.Namespace) -> int:
+    """Compile a schema into its decision artifact and report its shape."""
+    schema = _load_schema(args.schema)
+    store = compiled_artifact_store()
+    try:
+        artifact = store.get(schema)
+        report = artifact.compile_all_roots()
+    except CompilationError as error:
+        print(f"not compilable: {error}")
+        print("decisions for this schema fall back to the interpreted kernel")
+        return 1
+    if args.json:
+        print(json.dumps(artifact.describe(), indent=2, sort_keys=True))
+        return 0
+    print(f"fingerprint {artifact.fingerprint}")
+    header = f"{'root':<16} {'subs':>5} {'vars':>6} {'clauses':>8} {'learned':>8}"
+    print(header)
+    for root, info in report.items():
+        print(
+            f"{root:<16} {info['subhierarchies']:>5} {info['variables']:>6} "
+            f"{info['clauses']:>8} {info['learned_clauses']:>8}"
+        )
+    total_subs = sum(info["subhierarchies"] for info in report.values())
+    print(f"{len(report)} roots compiled, {total_subs} subhierarchies total")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-olap",
@@ -478,6 +521,15 @@ def build_parser() -> argparse.ArgumentParser:
         "attempts per ladder rung with exponential backoff, sequential "
         "degradation when the parallel engine keeps failing, and exit "
         "code 4 when no rung could produce a verdict",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["compiled"],
+        default=None,
+        help="decide through an alternative engine; 'compiled' serves "
+        "verdicts from the per-schema compiled decision artifact "
+        "(incremental SAT with learned-clause reuse), falling back to "
+        "the interpreted kernel on anything it cannot compile",
     )
     parser.add_argument(
         "--inject-faults",
@@ -567,6 +619,17 @@ def build_parser() -> argparse.ArgumentParser:
     sat.add_argument("schema")
     sat.add_argument("category")
     sat.set_defaults(handler=_cmd_satisfiable)
+
+    comp = sub.add_parser(
+        "compile",
+        help="compile a schema into its decision artifact (per-root CNF + "
+        "incremental SAT state) and print the artifact shape",
+    )
+    comp.add_argument("schema")
+    comp.add_argument(
+        "--json", action="store_true", help="emit the artifact description as JSON"
+    )
+    comp.set_defaults(handler=_cmd_compile)
 
     trace = sub.add_parser(
         "trace",

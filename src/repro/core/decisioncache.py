@@ -306,6 +306,7 @@ class DecisionCache:
     def report(self) -> str:
         """A human-readable stats block (the CLI's ``--cache-stats``)."""
         from repro.constraints.ast import intern_table_size
+        from repro.core.compile import compiled_artifact_store
         from repro.core.dimsat import circle_cache
 
         circ = circle_cache()
@@ -323,9 +324,14 @@ class DecisionCache:
             f"  hits           {circ.hits}",
             f"  misses         {circ.misses}",
             f"  hit rate       {circ.hit_rate:.1%}",
-            "interned constraint nodes:",
-            f"  live           {intern_table_size()}",
         ]
+        lines.extend(compiled_artifact_store().report_lines())
+        lines.extend(
+            [
+                "interned constraint nodes:",
+                f"  live           {intern_table_size()}",
+            ]
+        )
         return "\n".join(lines)
 
 

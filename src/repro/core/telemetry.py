@@ -603,6 +603,16 @@ def render_report(directory: str) -> str:
                 counters.get("circle_cache.misses", 0),
             )
         )
+        lines.append(
+            "  compiled tier   artifact hit rate "
+            + _rate(
+                counters.get("compiled.artifact_hits", 0),
+                counters.get("compiled.artifact_misses", 0),
+            )
+            + f"  (decisions {counters.get('compiled.decisions', 0)},"
+            f" fallbacks {counters.get('compiled.fallbacks', 0)},"
+            f" invalidations {counters.get('compiled.artifact_invalidations', 0)})"
+        )
         lines.append("")
         lines.append("resilience:")
         lines.append(

@@ -65,6 +65,77 @@ class Cnf:
                 return True
         return False
 
+    def to_dimacs(self) -> str:
+        """The formula in DIMACS CNF format (1-based signed literals).
+
+        The export is exact: clause order, in-clause literal order, and
+        duplicate literals are all preserved, so
+        ``cnf_from_dimacs(cnf.to_dimacs()) == cnf`` holds for every
+        well-formed :class:`Cnf`.  Used by the solver tests to feed the
+        same instance to :class:`~repro.core.satsolver.Solver` and the
+        brute-force oracle.
+        """
+        lines = [f"p cnf {self.n_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            rendered = " ".join(
+                str(var + 1 if polarity else -(var + 1))
+                for var, polarity in clause
+            )
+            lines.append(f"{rendered} 0".lstrip())
+        return "\n".join(lines) + "\n"
+
+
+def cnf_from_dimacs(text: str) -> Cnf:
+    """Parse a DIMACS CNF document back into a :class:`Cnf`.
+
+    Accepts comment lines (``c ...``), a single ``p cnf`` header, and
+    clauses that span multiple lines (the ``0`` terminator, not the
+    newline, ends a clause).  Raises :class:`ValueError` on a malformed
+    document - a missing header, a literal outside the declared variable
+    range, or an unterminated final clause.
+    """
+    n_vars: Optional[int] = None
+    declared_clauses: Optional[int] = None
+    clauses: List[Clause] = []
+    pending: List[Literal] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            if n_vars is not None:
+                raise ValueError("duplicate DIMACS header")
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed DIMACS header {line!r}")
+            n_vars = int(parts[2])
+            declared_clauses = int(parts[3])
+            if n_vars < 0 or declared_clauses < 0:
+                raise ValueError(f"negative counts in header {line!r}")
+            continue
+        if n_vars is None:
+            raise ValueError("DIMACS clause before the 'p cnf' header")
+        for token in line.split():
+            value = int(token)
+            if value == 0:
+                clauses.append(tuple(pending))
+                pending = []
+                continue
+            if abs(value) > n_vars:
+                raise ValueError(
+                    f"literal {value} exceeds declared variable count {n_vars}"
+                )
+            pending.append((abs(value) - 1, value > 0))
+    if n_vars is None:
+        raise ValueError("missing DIMACS 'p cnf' header")
+    if pending:
+        raise ValueError("unterminated final clause (missing trailing 0)")
+    if declared_clauses is not None and declared_clauses != len(clauses):
+        raise ValueError(
+            f"header declares {declared_clauses} clauses, found {len(clauses)}"
+        )
+    return Cnf(n_vars, tuple(clauses))
+
 
 def variable_category(index: int) -> str:
     """The category encoding variable ``x_index``."""

@@ -35,6 +35,7 @@ from repro._types import Category, Member
 from repro.constraints.ast import Node
 from repro.constraints.parser import parse
 from repro.constraints.printer import unparse
+from repro.core.compile import compiled_artifact_store
 from repro.core.decisioncache import USE_DEFAULT_CACHE, resolve_cache
 from repro.core.instance import DimensionInstance
 from repro.core.schema import DimensionSchema
@@ -144,8 +145,13 @@ class SchemaEditor:
         replaced = self.schema
         self.schema = new_schema
         self.history.append(new_schema.fingerprint())
-        if self._cache is not None and replaced.fingerprint() != new_schema.fingerprint():
-            self._cache.invalidate(replaced)
+        if replaced.fingerprint() != new_schema.fingerprint():
+            if self._cache is not None:
+                self._cache.invalidate(replaced)
+            # The compiled decision tier keys artifacts by the same
+            # fingerprint; drop the replaced version's artifact so a long
+            # edit session cannot pin dead solvers in memory.
+            compiled_artifact_store().invalidate(replaced)
         return new_schema
 
     # ------------------------------------------------------------------

@@ -28,6 +28,7 @@ from itertools import combinations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro._types import Category
+from repro.core.compile import resolve_engine
 from repro.core.decisioncache import USE_DEFAULT_CACHE
 from repro.core.instance import DimensionInstance
 from repro.core.metrics import METRICS
@@ -102,9 +103,11 @@ class AggregateNavigator:
         summarizability verdicts (default: the process-wide one); pass
         ``None`` to disable it.
     engine:
-        Optional :class:`~repro.core.parallel.ParallelDecisionEngine`.
-        When set (and ``schema`` is given), the rewriting search batches
-        its candidate summarizability checks through
+        Optional :class:`~repro.core.parallel.ParallelDecisionEngine`,
+        or the string ``"compiled"`` to decide through a
+        :class:`~repro.core.compile.CompiledDecisionEngine` over the
+        same cache.  When set (and ``schema`` is given), the rewriting
+        search batches its candidate summarizability checks through
         :meth:`~repro.core.parallel.ParallelDecisionEngine.decide_many`
         instead of deciding them one by one.
     """
@@ -124,7 +127,7 @@ class AggregateNavigator:
         self.max_rewrite_sources = max_rewrite_sources
         self.rewrites_only = rewrites_only
         self.cache = cache
-        self.engine = engine
+        self.engine = resolve_engine(engine, cache)
         self.stats = NavigatorStats()
         self._views: Dict[Tuple[Category, str, str], CubeView] = {}
         # Verdicts are keyed by a *context* - the schema fingerprint for

@@ -29,6 +29,7 @@ from itertools import combinations
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro._types import ALL, Category
+from repro.core.compile import resolve_engine
 from repro.core.decisioncache import USE_DEFAULT_CACHE
 from repro.core.dimsat import DimsatOptions
 from repro.core.parallel import ParallelDecisionEngine
@@ -111,7 +112,9 @@ class _SummarizabilityCache:
         self.schema = schema
         self.options = options
         self.cache = cache
-        self.engine = engine
+        # ``"compiled"`` selects the compiled decision tier; anything
+        # else (engine object or None) is used as given.
+        self.engine = resolve_engine(engine, cache)
         self._cache: Dict[Tuple[Category, FrozenSet[Category]], bool] = {}
 
     def prefetch(self, pairs: Iterable[Tuple[Category, FrozenSet[Category]]]) -> None:

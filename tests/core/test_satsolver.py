@@ -1,0 +1,213 @@
+"""Unit and differential tests for the incremental CDCL solver.
+
+The ground truth is the :class:`~repro.generators.sat_encoding.Cnf`
+brute-force oracle; instances travel to the solver through the DIMACS
+round-trip, so these tests double as an end-to-end check of the export
+and parse paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.satsolver import SatError, Solver
+from repro.generators.sat_encoding import Cnf, cnf_from_dimacs, random_3cnf
+
+
+def _load(solver: Solver, cnf: Cnf) -> list:
+    """Install a Cnf into the solver; returns the variable map (index i
+    of the Cnf -> solver variable)."""
+    variables = [solver.new_var() for _ in range(cnf.n_vars)]
+    for clause in cnf.clauses:
+        solver.add_clause(
+            [variables[var] if polarity else -variables[var] for var, polarity in clause]
+        )
+    return variables
+
+
+def _solver_model_satisfies(solver: Solver, cnf: Cnf, variables: list) -> bool:
+    assignment = [solver.model_value(v) for v in variables]
+    return cnf.evaluate(assignment)
+
+
+class TestBasics:
+    def test_empty_database_is_sat(self):
+        assert Solver().solve()
+
+    def test_unit_clause(self):
+        solver = Solver()
+        v = solver.new_var()
+        solver.add_clause([v])
+        assert solver.solve()
+        assert solver.model_value(v) is True
+
+    def test_contradictory_units_unsat(self):
+        solver = Solver()
+        v = solver.new_var()
+        solver.add_clause([v])
+        solver.add_clause([-v])
+        assert not solver.solve()
+        # The solver stays permanently unsat once the database is.
+        assert not solver.solve()
+
+    def test_empty_clause_unsat(self):
+        solver = Solver()
+        solver.new_var()
+        solver.add_clause([])
+        assert not solver.solve()
+
+    def test_tautology_is_dropped(self):
+        solver = Solver()
+        v = solver.new_var()
+        solver.add_clause([v, -v])
+        assert solver.num_clauses == 0
+        assert solver.solve()
+
+    def test_invalid_literal_rejected(self):
+        solver = Solver()
+        with pytest.raises(SatError):
+            solver.add_clause([1])  # no variable allocated
+        with pytest.raises(SatError):
+            solver.add_clause([0])
+
+    def test_invalid_assumption_rejected(self):
+        solver = Solver()
+        with pytest.raises(SatError):
+            solver.solve([3])
+
+    def test_phase_seeds_branch_polarity(self):
+        solver = Solver()
+        on = solver.new_var(phase=True)
+        off = solver.new_var(phase=False)
+        assert solver.solve()
+        assert solver.model_value(on) is True
+        assert solver.model_value(off) is False
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        solver = Solver()
+        v = solver.new_var()
+        assert solver.solve([v])
+        assert solver.model_value(v) is True
+        assert solver.solve([-v])
+        assert solver.model_value(v) is False
+
+    def test_conflicting_assumptions(self):
+        solver = Solver()
+        v = solver.new_var()
+        assert not solver.solve([v, -v])
+        # The database itself is still satisfiable.
+        assert solver.solve()
+
+    def test_assumption_against_unit(self):
+        solver = Solver()
+        v = solver.new_var()
+        solver.add_clause([v])
+        assert not solver.solve([-v])
+        assert solver.solve([v])
+
+    def test_assumptions_do_not_pollute_database(self):
+        """A formula UNSAT under assumptions stays SAT without them, and
+        clauses learned during the failed attempt must not change any
+        verdict."""
+        solver = Solver()
+        a, b, c = (solver.new_var() for _ in range(3))
+        solver.add_clause([-a, b])
+        solver.add_clause([-a, -b, c])
+        solver.add_clause([-a, -c])  # a -> conflict
+        assert not solver.solve([a])
+        assert solver.solve()
+        assert solver.model_value(a) is False
+        assert not solver.solve([a])
+
+
+class TestLearning:
+    def test_learned_clauses_persist_across_solves(self):
+        cnf = random_3cnf(8, 34, seed=3)
+        solver = Solver()
+        variables = _load(solver, cnf)
+        first = solver.solve()
+        learned_after_first = solver.num_learned
+        second = solver.solve()
+        assert first == second
+        # Re-solving starts from the learned state; it can only grow.
+        assert solver.num_learned >= learned_after_first
+
+    def test_learned_clauses_are_implied(self):
+        """Every learned clause must be satisfied by every model of the
+        original formula (i.e. the lemmas are consequences, not guesses)."""
+        import itertools
+
+        cnf = random_3cnf(6, 25, seed=11)
+        solver = Solver()
+        variables = _load(solver, cnf)
+        solver.solve()
+        if not solver.learned_clauses():
+            return
+        var_index = {v: i for i, v in enumerate(variables)}
+        for bits in itertools.product((False, True), repeat=cnf.n_vars):
+            if not cnf.evaluate(bits):
+                continue
+            for clause in solver.learned_clauses():
+                assert any(
+                    bits[var_index[abs(lit)]] == (lit > 0)
+                    for lit in clause
+                    if abs(lit) in var_index
+                ), (clause, bits)
+
+
+class TestDifferential:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=8),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=0, max_value=100_000),
+    )
+    def test_agrees_with_brute_force(self, n_vars, n_clauses, seed):
+        cnf = cnf_from_dimacs(random_3cnf(n_vars, n_clauses, seed=seed).to_dimacs())
+        solver = Solver()
+        variables = _load(solver, cnf)
+        verdict = solver.solve()
+        assert verdict == cnf.brute_force_satisfiable()
+        if verdict:
+            assert _solver_model_satisfies(solver, cnf, variables)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_incremental_queries_match_monolithic(self, seed):
+        """Activation-guarded queries over one incremental solver agree
+        with solving each combined formula from scratch - the soundness
+        property learned-clause reuse rests on."""
+        import random as random_module
+
+        rng = random_module.Random(seed)
+        base = random_3cnf(6, rng.randint(4, 18), seed=seed)
+        solver = Solver()
+        variables = _load(solver, base)
+        for query_round in range(4):
+            query = random_3cnf(6, rng.randint(1, 5), seed=seed * 7 + query_round)
+            activation = solver.new_var()
+            for clause in query.clauses:
+                solver.add_clause(
+                    [-activation]
+                    + [
+                        variables[var] if polarity else -variables[var]
+                        for var, polarity in clause
+                    ]
+                )
+            combined = Cnf(6, base.clauses + query.clauses)
+            assert solver.solve([activation]) == combined.brute_force_satisfiable()
+            # The base formula must stay decidable in between.
+            assert solver.solve() == base.brute_force_satisfiable()
+
+    def test_stats_progress(self):
+        cnf = random_3cnf(8, 34, seed=5)
+        solver = Solver()
+        _load(solver, cnf)
+        solver.solve()
+        stats = solver.stats.as_dict()
+        assert stats["solves"] == 1
+        assert stats["propagations"] > 0

@@ -3,18 +3,37 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import dimsat, is_category_satisfiable
 from repro.generators.sat_encoding import (
     Cnf,
     DUMMY,
     ROOT,
+    cnf_from_dimacs,
     decode_assignment,
     encode,
     phase_transition_cnf,
     random_3cnf,
     variable_category,
 )
+
+
+@st.composite
+def cnfs(draw):
+    """Arbitrary CNFs: any clause width (including empty), duplicate
+    literals and tautological clauses allowed - the round-trip must
+    preserve all of them exactly."""
+    n_vars = draw(st.integers(min_value=0, max_value=8))
+    literal = st.tuples(
+        st.integers(min_value=0, max_value=max(0, n_vars - 1)), st.booleans()
+    )
+    clause = st.lists(literal, max_size=4).map(tuple)
+    clauses = (
+        draw(st.lists(clause, max_size=6).map(tuple)) if n_vars else ()
+    )
+    return Cnf(n_vars, clauses)
 
 
 class TestCnfToolkit:
@@ -47,6 +66,61 @@ class TestCnfToolkit:
     def test_phase_transition_ratio(self):
         cnf = phase_transition_cnf(10, seed=0)
         assert len(cnf.clauses) == round(4.26 * 10)
+
+
+class TestDimacs:
+    def test_export_shape(self):
+        cnf = Cnf(2, (((0, True), (1, False)),))
+        assert cnf.to_dimacs() == "p cnf 2 1\n1 -2 0\n"
+
+    def test_empty_clause_exports(self):
+        cnf = Cnf(1, ((),))
+        assert cnf.to_dimacs() == "p cnf 1 1\n0\n"
+        assert cnf_from_dimacs(cnf.to_dimacs()) == cnf
+
+    def test_parse_skips_comments_and_blank_lines(self):
+        text = "c a comment\n\np cnf 2 1\nc mid comment\n1 2 0\n"
+        assert cnf_from_dimacs(text) == Cnf(2, (((0, True), (1, True)),))
+
+    def test_parse_multiline_clause(self):
+        text = "p cnf 3 1\n1\n-2\n3 0\n"
+        cnf = cnf_from_dimacs(text)
+        assert cnf.clauses == (((0, True), (1, False), (2, True)),)
+
+    def test_parse_rejects_missing_header(self):
+        with pytest.raises(ValueError):
+            cnf_from_dimacs("1 2 0\n")
+
+    def test_parse_rejects_duplicate_header(self):
+        with pytest.raises(ValueError):
+            cnf_from_dimacs("p cnf 1 0\np cnf 1 0\n")
+
+    def test_parse_rejects_out_of_range_literal(self):
+        with pytest.raises(ValueError):
+            cnf_from_dimacs("p cnf 2 1\n3 0\n")
+
+    def test_parse_rejects_unterminated_clause(self):
+        with pytest.raises(ValueError):
+            cnf_from_dimacs("p cnf 2 1\n1 2\n")
+
+    def test_parse_rejects_wrong_clause_count(self):
+        with pytest.raises(ValueError):
+            cnf_from_dimacs("p cnf 2 2\n1 0\n")
+
+    @settings(max_examples=200, deadline=None)
+    @given(cnfs())
+    def test_round_trip_is_exact(self, cnf):
+        """to_dimacs / cnf_from_dimacs is the identity - clause order,
+        literal order, and duplicates all survive."""
+        assert cnf_from_dimacs(cnf.to_dimacs()) == cnf
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_round_trip_preserves_satisfiability(self, seed):
+        cnf = random_3cnf(4, 10, seed=seed)
+        back = cnf_from_dimacs(cnf.to_dimacs())
+        assert back == cnf
+        assert back.brute_force_satisfiable() == cnf.brute_force_satisfiable()
 
 
 class TestEncoding:

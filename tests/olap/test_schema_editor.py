@@ -140,6 +140,55 @@ class TestCacheHygiene:
         assert len(edited.constraints) == 3
 
 
+class TestCompiledArtifactHygiene:
+    """Edits must also drop the compiled decision artifact keyed by the
+    replaced schema's fingerprint."""
+
+    @pytest.mark.parametrize("op", sorted(TestCacheHygiene.OPS))
+    def test_every_op_invalidates_the_artifact(self, hierarchy, op):
+        from repro.core import compiled_artifact_store
+
+        base = (
+            DimensionSchema(hierarchy.without_edge("Base", "A"), ["C -> T"])
+            if op == "add_edge"
+            else DimensionSchema(hierarchy, ["C -> T"])
+        )
+        store = compiled_artifact_store()
+        store.get(base)  # compile the pre-edit version
+        invalidations_before = store.stats.invalidations
+        editor = SchemaEditor(base, cache=None)
+        TestCacheHygiene.OPS[op](editor)
+        assert store.stats.invalidations == invalidations_before + 1
+        assert store.invalidate(base) == 0  # already gone
+
+    def test_stale_artifact_never_serves_a_post_edit_decision(self, hierarchy):
+        """The sharper guarantee behind the eviction hook: even when the
+        hook is absent, fingerprint keying makes the old artifact
+        unreachable - the post-edit decision compiles (and answers from)
+        the new schema, so a stale verdict is impossible."""
+        from repro.core import CompiledArtifactStore, CompiledDecisionEngine
+
+        base = DimensionSchema(hierarchy, [])
+        store = CompiledArtifactStore()
+        engine = CompiledDecisionEngine(cache=None, store=store)
+        assert engine.implies(base, "Base -> A").implied is False
+        # Edit WITHOUT the eviction hook: the old artifact stays resident.
+        edited = base.with_constraints(["Base -> A"])
+        assert len(store) == 1
+        assert engine.implies(edited, "Base -> A").implied is True
+        # The post-edit decision compiled a second artifact; the stale one
+        # was never consulted.
+        assert len(store) == 2
+        # And with the editor's hook, the replaced artifact is dropped too.
+        from repro.core import compiled_artifact_store
+
+        shared = compiled_artifact_store()
+        shared.get(base)
+        editor = SchemaEditor(base, cache=None)
+        editor.add_constraint("Base -> A")
+        assert shared.invalidate(base) == 0
+
+
 class TestMaintainedNavigatorEdits:
     @pytest.fixture()
     def navigator(self, hierarchy, cache):

@@ -1,0 +1,150 @@
+"""Differential tests: compiled tier == sequential kernel == brute force.
+
+The :class:`~repro.core.compile.CompiledDecisionEngine` answers
+decisions from a per-schema CNF artifact and an incremental SAT solver;
+this file pins it, on hypothesis-generated random schemas, to the
+sequential kernel and to the first-principles brute-force oracle for all
+three decision problems - extending the PR 2 differential suite one tier
+down the stack.
+
+Also pinned: the seed-880 falsifier schema (the deterministic regression
+input from the homogenize fixpoint bug - a heterogeneous 7-category
+schema with choice constraints) and the Theorem 4 3-SAT encodings, where
+the compiled verdict must track the CNF's own satisfiability.
+
+One engine (and so one artifact store, with all its learned clauses)
+serves every example: clause learning in one example must never leak a
+wrong verdict into another.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._types import ALL
+from repro.baselines.bruteforce import brute_force_implies, brute_force_satisfiable
+from repro.core.compile import CompiledArtifactStore, CompiledDecisionEngine
+from repro.core.dimsat import dimsat
+from repro.core.implication import implies
+from repro.core.summarizability import (
+    is_summarizable_in_schema,
+    summarizability_constraints,
+)
+from repro.generators.random_schema import RandomSchemaConfig, random_schema
+from repro.generators.sat_encoding import ROOT, encode, random_3cnf
+
+#: The pinned deterministic falsifier (see tests/baselines/test_homogenize).
+SEED_880 = RandomSchemaConfig(
+    n_categories=6,
+    n_layers=3,
+    extra_edge_prob=0.4,
+    into_fraction=0.5,
+    choice_constraint_prob=0.7,
+    seed=880,
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    """One compiled engine for the whole module: learned clauses and
+    artifacts accumulate across examples, exactly like a long-lived
+    server process."""
+    return CompiledDecisionEngine(cache=None, store=CompiledArtifactStore())
+
+
+@st.composite
+def small_schemas(draw):
+    """Random small symbolic schemas (kept within reach of the
+    exponential brute-force oracle)."""
+    config = RandomSchemaConfig(
+        n_categories=draw(st.integers(min_value=3, max_value=6)),
+        n_layers=draw(st.integers(min_value=2, max_value=3)),
+        extra_edge_prob=draw(st.sampled_from([0.0, 0.3, 0.6])),
+        skip_edge_prob=draw(st.sampled_from([0.0, 0.2])),
+        into_fraction=draw(st.sampled_from([0.0, 0.5, 1.0])),
+        choice_constraint_prob=draw(st.sampled_from([0.0, 0.7])),
+        n_constants=draw(st.integers(min_value=1, max_value=2)),
+        attributed_fraction=draw(st.sampled_from([0.0, 0.5])),
+        equality_constraint_prob=draw(st.sampled_from([0.0, 0.7])),
+        seed=draw(st.integers(min_value=0, max_value=10_000)),
+    )
+    return random_schema(config)
+
+
+def _brute_force_summarizable(schema, target, sources):
+    for bottom, node in summarizability_constraints(
+        schema.hierarchy, target, sources
+    ):
+        if bottom == ALL:
+            continue
+        if not brute_force_implies(schema, node):
+            return False
+    return True
+
+
+@settings(max_examples=200, deadline=None)
+@given(small_schemas())
+def test_dimsat_three_way(engine, schema):
+    """compiled == sequential == brute force for every category."""
+    for category in sorted(schema.hierarchy.categories - {ALL}):
+        oracle = brute_force_satisfiable(schema, category)
+        assert dimsat(schema, category).satisfiable == oracle, category
+        assert engine.dimsat(schema, category).satisfiable == oracle, category
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_schemas())
+def test_implication_three_way(engine, schema):
+    """Each SIGMA constraint re-asked as a query: compiled == sequential
+    == brute force (these exercise the activation-literal query path)."""
+    for node in schema.constraints[:3]:
+        oracle = brute_force_implies(schema, node)
+        assert implies(schema, node).implied == oracle, node
+        assert engine.implies(schema, node).implied == oracle, node
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_schemas(), st.integers(min_value=0, max_value=1_000))
+def test_summarizability_three_way(engine, schema, pick):
+    categories = sorted(schema.hierarchy.categories - {ALL})
+    target = categories[pick % len(categories)]
+    pool = [c for c in categories if c != target]
+    sources = pool[: 1 + pick % 2] if pool else []
+    oracle = _brute_force_summarizable(schema, target, sources)
+    assert (
+        is_summarizable_in_schema(schema, target, sources, cache=None) == oracle
+    )
+    assert engine.is_summarizable(schema, target, sources) == oracle
+
+
+class TestPinnedSchemas:
+    def test_seed_880_falsifier(self, engine):
+        """Full three-way sweep over the pinned falsifier schema."""
+        schema = random_schema(SEED_880)
+        assert len(schema.hierarchy.categories) == 7
+        for category in sorted(schema.hierarchy.categories - {ALL}):
+            oracle = brute_force_satisfiable(schema, category)
+            assert dimsat(schema, category).satisfiable == oracle
+            assert engine.dimsat(schema, category).satisfiable == oracle
+        for node in schema.constraints:
+            oracle = brute_force_implies(schema, node)
+            assert implies(schema, node).implied == oracle
+            assert engine.implies(schema, node).implied == oracle
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_theorem4_encodings(self, engine, seed):
+        """Compiled root satisfiability of ``encode(phi)`` equals the
+        formula's own satisfiability (Theorem 4, now decided by SAT on
+        both sides of the reduction)."""
+        cnf = random_3cnf(4, 6 + (seed * 7) % 12, seed=seed)
+        schema = encode(cnf)
+        oracle = cnf.brute_force_satisfiable()
+        assert dimsat(schema, ROOT).satisfiable == oracle
+        assert engine.dimsat(schema, ROOT).satisfiable == oracle
+
+    def test_no_fallbacks_were_needed(self, engine):
+        """Every schema in this module is symbolic: the compiled tier
+        must have served everything itself."""
+        assert engine.stats.fallbacks == 0

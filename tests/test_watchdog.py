@@ -19,13 +19,14 @@ sys.modules.setdefault("watchdog", watchdog)
 _spec.loader.exec_module(watchdog)
 
 
-def _write_docs(directory: Path, b1=4.0, b2=3.0, b4=2.0, b5=1.0):
+def _write_docs(directory: Path, b1=4.0, b2=3.0, b4=2.0, b5=1.0, b6=11.0):
     directory.mkdir(parents=True, exist_ok=True)
     documents = {
         "BENCH_1.json": {"total": {"speedup": b1}},
         "BENCH_2.json": {"speedup": b2},
         "BENCH_4.json": {"overhead_pct": b4},
         "BENCH_5.json": {"overhead_pct": b5},
+        "BENCH_6.json": {"total": {"speedup": b6}},
     }
     for filename, document in documents.items():
         (directory / filename).write_text(json.dumps(document) + "\n")
@@ -39,7 +40,7 @@ class TestCompare:
             tmp_path / "baseline", tmp_path / "fresh", tolerance=0.15
         )
         assert report["ok"] and report["regressions"] == 0
-        assert len(report["metrics"]) == 4
+        assert len(report["metrics"]) == 5
 
     def test_25pct_speedup_loss_is_flagged(self, tmp_path):
         _write_docs(tmp_path / "baseline")
@@ -51,6 +52,16 @@ class TestCompare:
         (regressed,) = [r for r in report["metrics"] if r["regressed"]]
         assert regressed["file"] == "BENCH_2.json"
         assert regressed["cost_change_pct"] == pytest.approx(25.0)
+
+    def test_compiled_tier_speedup_loss_is_flagged(self, tmp_path):
+        _write_docs(tmp_path / "baseline")
+        _write_docs(tmp_path / "fresh", b6=11.0 / 1.25)
+        report = watchdog.compare(
+            tmp_path / "baseline", tmp_path / "fresh", tolerance=0.15
+        )
+        assert not report["ok"]
+        (regressed,) = [r for r in report["metrics"] if r["regressed"]]
+        assert regressed["file"] == "BENCH_6.json"
 
     def test_overhead_growth_is_a_cost_ratio_not_a_pct_diff(self, tmp_path):
         # +2% -> +7% overhead is only a ~4.9% cost increase; the 15%
