@@ -55,6 +55,13 @@ Subcommands
     Operator report over a telemetry directory: p50/p95/p99 latency per
     decision kind, cache hit rates, resilience counters, top spans.
     (``report SCHEMA`` remains the markdown schema report.)
+``soak [--seconds S] [--engine E] [--inject-faults SPEC]``
+    Drive the resilient decision stack over the adversarial generator
+    corpus (:mod:`repro.generators.adversarial`) with mixed
+    decide/navigate/edit traffic, checking metamorphic invariants on
+    every step; exit code 1 on any invariant violation or wrong verdict
+    (UNKNOWN outcomes are allowed).  ``--falsifier-dir`` shrinks every
+    schema-level violation to a minimal loadable falsifier file.
 
 The global ``--emit-metrics PATH`` flag writes a JSON snapshot of the
 process-wide metrics registry (counters, gauges, histograms) after any
@@ -144,8 +151,13 @@ def _engine_from_args(args: argparse.Namespace):
     workers = getattr(args, "workers", None)
     budget = _budget_from_args(args)
     retries = getattr(args, "retries", None)
-    if getattr(args, "engine", None) == "compiled":
+    engine_name = getattr(args, "engine", None)
+    if engine_name == "compiled":
         engine = CompiledDecisionEngine(budget=budget)
+    elif engine_name == "parallel":
+        engine = ParallelDecisionEngine(max_workers=workers or 2, budget=budget)
+    elif engine_name == "sequential":
+        engine = ParallelDecisionEngine(max_workers=1, budget=budget)
     elif workers is None and budget is None and retries is None:
         return None
     else:
@@ -464,6 +476,35 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.core.soak import SoakConfig, run_soak
+
+    config = SoakConfig(
+        engine=getattr(args, "engine", None) or "compiled",
+        seconds=args.seconds,
+        max_steps=args.max_steps,
+        seed=args.seed,
+        families=args.families,
+        per_family=args.per_family,
+        workers=getattr(args, "workers", None) or 2,
+        retries=getattr(args, "retries", None) or 3,
+        budget_ms=getattr(args, "budget_ms", None),
+        check_every=args.check_every,
+        falsifier_dir=args.falsifier_dir,
+    )
+    report = run_soak(config)
+    print(report.render())
+    document = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+    if args.json:
+        Path(args.json).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.json).write_text(document + "\n")
+    telemetry_dir = getattr(args, "telemetry_dir", None)
+    if telemetry_dir:
+        Path(telemetry_dir).mkdir(parents=True, exist_ok=True)
+        (Path(telemetry_dir) / "soak_report.json").write_text(document + "\n")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-olap",
@@ -524,12 +565,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=["compiled"],
+        choices=["compiled", "parallel", "sequential"],
         default=None,
-        help="decide through an alternative engine; 'compiled' serves "
+        help="decide through an explicit engine: 'compiled' serves "
         "verdicts from the per-schema compiled decision artifact "
-        "(incremental SAT with learned-clause reuse), falling back to "
-        "the interpreted kernel on anything it cannot compile",
+        "(incremental SAT with learned-clause reuse, interpreted-kernel "
+        "fallback), 'parallel' fans out over a worker pool "
+        "(honoring --workers), 'sequential' pins the service path to "
+        "one worker",
     )
     parser.add_argument(
         "--inject-faults",
@@ -652,6 +695,98 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the raw trace document as JSON instead of text",
     )
     trace.set_defaults(handler=_cmd_trace)
+
+    soak = sub.add_parser(
+        "soak",
+        help="drive the resilient decision stack over the adversarial "
+        "corpus with mixed decide/navigate/edit traffic, checking "
+        "metamorphic invariants on every step (implied-constraint "
+        "stability, Definition 6 aggregates, homogenize preservation, "
+        "compiled == sequential, cache hygiene across edits); exit 1 on "
+        "any violation or wrong verdict (UNKNOWN is allowed)",
+    )
+    soak.add_argument(
+        "--seconds",
+        type=float,
+        default=5.0,
+        help="wall-clock soak duration (default 5; every case still gets "
+        "at least one operation)",
+    )
+    soak.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="hard step cap regardless of time (deterministic runs)",
+    )
+    soak.add_argument("--seed", type=int, default=0, help="corpus/trace seed")
+    soak.add_argument(
+        "--families",
+        nargs="+",
+        default=None,
+        metavar="FAMILY",
+        help="restrict to these adversarial generator families "
+        "(default: all)",
+    )
+    soak.add_argument(
+        "--per-family",
+        type=int,
+        default=1,
+        metavar="N",
+        help="seeded cases per family (default 1)",
+    )
+    soak.add_argument(
+        "--check-every",
+        type=int,
+        default=5,
+        metavar="N",
+        help="compiled-vs-sequential cross-check cadence (default 5)",
+    )
+    soak.add_argument(
+        "--falsifier-dir",
+        metavar="DIR",
+        default=None,
+        help="shrink every schema-level violation and write the minimal "
+        "repro-olap loadable falsifier schema here",
+    )
+    soak.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the soak report as JSON to PATH",
+    )
+    # The acceptance-shaped invocation puts the engine/fault globals
+    # *after* the subcommand; duplicate them here with SUPPRESS defaults
+    # so the subparser only overrides what the user actually typed and
+    # never clobbers values the parent parser already captured.
+    soak.add_argument(
+        "--engine",
+        choices=["compiled", "parallel", "sequential"],
+        default=argparse.SUPPRESS,
+        help="engine behind the resilience ladder (default compiled)",
+    )
+    soak.add_argument(
+        "--inject-faults", metavar="SPEC", default=argparse.SUPPRESS,
+        help="deterministic fault spec for the whole soak",
+    )
+    soak.add_argument(
+        "--workers", type=int, metavar="N", default=argparse.SUPPRESS,
+        help="worker count for the parallel engine (default 2)",
+    )
+    soak.add_argument(
+        "--budget-ms", type=float, metavar="MS", default=argparse.SUPPRESS,
+        help="per-decision budget inside the soak engine",
+    )
+    soak.add_argument(
+        "--retries", type=int, metavar="N", default=argparse.SUPPRESS,
+        help="attempts per resilience-ladder rung (default 3)",
+    )
+    soak.add_argument(
+        "--telemetry-dir", metavar="DIR", default=argparse.SUPPRESS,
+        help="telemetry export directory (audit log is replayable by "
+        "audit-verify; the soak report lands there too)",
+    )
+    soak.set_defaults(handler=_cmd_soak)
 
     verify = sub.add_parser(
         "audit-verify",

@@ -18,13 +18,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Sequence, Set, Tuple
 
 from repro._types import ALL, Category, Edge
 from repro.constraints.ast import Node, Not, Or, PathAtom
 from repro.constraints.builder import compare, eq, into, one, path
 from repro.core.hierarchy import HierarchySchema
 from repro.core.schema import DimensionSchema
+from repro.errors import SchemaError
 
 
 @dataclass(frozen=True)
@@ -68,19 +69,30 @@ def random_hierarchy(config: RandomSchemaConfig) -> Tuple[HierarchySchema, List[
     layers = _layered_categories(config)
     layers.append([ALL])
 
-    edges: Set[Edge] = set()
+    # Edges are accumulated in insertion order (with a seen-set for
+    # dedup) rather than in a bare set, so the value handed to
+    # HierarchySchema is bit-for-bit reproducible for a given seed even
+    # across interpreters with different hash randomization.
+    edges: List[Edge] = []
+    seen: Set[Edge] = set()
+
+    def add_edge(edge: Edge) -> None:
+        if edge not in seen:
+            seen.add(edge)
+            edges.append(edge)
+
     primary: List[Edge] = []
     for depth, layer in enumerate(layers[:-1]):
         above = layers[depth + 1]
         for category in layer:
             target = rng.choice(above)
-            edges.add((category, target))
+            add_edge((category, target))
             primary.append((category, target))
             for other in above:
                 if other != target and rng.random() < config.extra_edge_prob:
-                    edges.add((category, other))
+                    add_edge((category, other))
             if depth + 2 < len(layers) and rng.random() < config.skip_edge_prob:
-                edges.add((category, rng.choice(layers[depth + 2])))
+                add_edge((category, rng.choice(layers[depth + 2])))
 
     categories = [c for layer in layers for c in layer]
     return HierarchySchema(categories, edges), primary
@@ -180,3 +192,150 @@ def schemas_by_size(
 def bottom_category(schema: DimensionSchema) -> Category:
     """A deterministic bottom category to run DIMSAT against."""
     return sorted(schema.hierarchy.bottom_categories())[0]
+
+
+# ----------------------------------------------------------------------
+# Reproducible shrinking
+# ----------------------------------------------------------------------
+
+
+def _mentions(node: Node, category: Category) -> bool:
+    """Whether a constraint mentions ``category`` in any of its atoms."""
+    from repro.olap.maintenance import _mentioned_categories
+
+    return category in _mentioned_categories(node)
+
+
+def _without_category(
+    schema: DimensionSchema, category: Category
+) -> DimensionSchema:
+    """The schema with ``category``, its edges, and every constraint that
+    mentions it removed.  Raises if the result is not a valid schema."""
+    hierarchy = schema.hierarchy
+    categories = [c for c in sorted(hierarchy.categories) if c != category]
+    edges = [
+        edge
+        for edge in sorted(hierarchy.edges)
+        if category not in edge
+    ]
+    constraints = [
+        node for node in schema.constraints if not _mentions(node, category)
+    ]
+    return DimensionSchema(HierarchySchema(categories, edges), constraints)
+
+
+def _without_edge(schema: DimensionSchema, edge: Edge) -> DimensionSchema:
+    """The schema with one hierarchy edge removed (constraints kept)."""
+    hierarchy = schema.hierarchy
+    edges = [e for e in sorted(hierarchy.edges) if e != edge]
+    return DimensionSchema(
+        HierarchySchema(sorted(hierarchy.categories), edges),
+        list(schema.constraints),
+    )
+
+
+def shrink_schema(
+    schema: DimensionSchema,
+    predicate: Callable[[DimensionSchema], bool],
+    max_rounds: int = 10,
+) -> DimensionSchema:
+    """Greedily minimize a failing schema while ``predicate`` stays true.
+
+    ``predicate(candidate)`` must return ``True`` when the candidate still
+    exhibits the failure being chased.  Candidates are tried in a fixed
+    deterministic order - drop one constraint, then one category (with
+    its edges and the constraints that mention it), then one edge - and
+    every accepted removal restarts the scan, until a full round removes
+    nothing or ``max_rounds`` is hit.  Candidates that produce an invalid
+    schema, or on which the predicate itself raises, are skipped; the
+    result is the smallest schema reached, never the empty one the
+    predicate rejected.
+
+    The shrinker is pure and deterministic: the same schema and the same
+    (deterministic) predicate always yield the same minimal schema, which
+    is what makes the emitted falsifier files stable enough to pin as
+    regression tests.
+    """
+    if not predicate(schema):
+        raise SchemaError(
+            "shrink_schema needs a failing schema: the predicate returned "
+            "False for the starting point"
+        )
+
+    def still_fails(candidate: DimensionSchema) -> bool:
+        try:
+            return predicate(candidate)
+        except Exception:
+            return False
+
+    current = schema
+    for _ in range(max_rounds):
+        progressed = False
+
+        for node in list(current.constraints):
+            candidate_constraints = [
+                other for other in current.constraints if other is not node
+            ]
+            try:
+                candidate = DimensionSchema(
+                    current.hierarchy, candidate_constraints
+                )
+            except Exception:
+                continue
+            if still_fails(candidate):
+                current = candidate
+                progressed = True
+
+        for category in sorted(current.hierarchy.categories - {ALL}):
+            try:
+                candidate = _without_category(current, category)
+            except Exception:
+                continue
+            if still_fails(candidate):
+                current = candidate
+                progressed = True
+
+        for edge in sorted(current.hierarchy.edges):
+            if edge not in current.hierarchy.edges:
+                continue
+            try:
+                candidate = _without_edge(current, edge)
+            except Exception:
+                continue
+            if still_fails(candidate):
+                current = candidate
+                progressed = True
+
+        if not progressed:
+            break
+    return current
+
+
+def write_falsifier(
+    schema: DimensionSchema,
+    path: str,
+    note: str = "",
+) -> str:
+    """Write a shrunk failing schema as a ``repro-olap`` loadable file.
+
+    The emitted document is the plain :mod:`repro.io.json_io` schema
+    format (categories/edges/constraints), so the falsifier can be fed
+    straight back to ``repro-olap dimsat FILE CATEGORY`` or loaded with
+    :func:`repro.io.json_io.schema_from_json` inside a pinned regression
+    test.  ``note`` (what failed, which seed found it) is stored under a
+    ``"_falsifier"`` key that the loader ignores.  Returns ``path``.
+    """
+    import json
+    import os
+
+    from repro.io.json_io import schema_to_dict
+
+    document = schema_to_dict(schema)
+    if note:
+        document["_falsifier"] = note
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

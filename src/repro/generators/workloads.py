@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro._types import ALL, Category, Member
 from repro.constraints.ast import Node, Not
+from repro.constraints.printer import unparse
 from repro.core.dimsat import enumerate_frozen_dimensions
 from repro.core.frozen import FrozenDimension
 from repro.core.instance import TOP_MEMBER, DimensionInstance
@@ -206,6 +207,134 @@ def summarizability_workload(
         sources = tuple(sorted(rng.sample(below, size)))
         queries.append((target, sources))
     return queries
+
+
+#: The operation kinds a mixed trace may contain, with their default
+#: frequency weights.  ``decide`` traffic dominates (as it does for a
+#: navigator under load), edits are rare but regular - the realistic
+#: shape of a dimension under continuous administration.
+DEFAULT_TRACE_WEIGHTS: Mapping[str, float] = {
+    "dimsat": 0.30,
+    "implies": 0.25,
+    "summarizable": 0.20,
+    "navigate": 0.15,
+    "edit": 0.10,
+}
+
+
+def _implied_weakening(schema: DimensionSchema, rng: random.Random) -> Node:
+    """A constraint implied by SIGMA but (usually) not textually in it.
+
+    ``alpha or beta`` for ``alpha`` in SIGMA and a random path atom
+    ``beta`` is implied by ``alpha`` alone, so adding it must never flip
+    any verdict - the core metamorphic edit of the soak harness.  All
+    atoms of one constraint must share a root (Definition 4), so ``beta``
+    is a path atom rooted at ``alpha``'s own root category.
+    """
+    from repro.constraints.ast import Or
+    from repro.constraints.builder import path
+
+    alpha = rng.choice(sorted(schema.constraints, key=unparse))
+    root = next(alpha.atoms()).root
+    parents = sorted(schema.hierarchy.parents(root))
+    if not parents:
+        return alpha
+    beta = path(root, rng.choice(parents))
+    return Or((alpha, beta))
+
+
+def mixed_trace(
+    schema: DimensionSchema,
+    n_ops: int = 50,
+    seed: int = 0,
+    weights: Optional[Mapping[str, float]] = None,
+) -> List[Tuple[object, ...]]:
+    """A seeded mixed decide/navigate/edit operation trace.
+
+    Returns a list of tagged tuples ready for a service loop to replay:
+
+    * ``("dimsat", category)``
+    * ``("implies", node)`` - half from SIGMA (implied), half negations
+      or weakenings;
+    * ``("summarizable", target, sources)``
+    * ``("navigate", target, sources)`` - an aggregate-navigation query
+      (the consumer aggregates facts at ``target`` and cross-checks the
+      Definition 6 recombination from ``sources``);
+    * ``("edit", "add-implied", node)`` - add a constraint SIGMA already
+      implies (a metamorphic no-op for every verdict);
+    * ``("edit", "drop-added",)`` - retract the most recently added
+      constraint (the trace keeps adds/drops balanced, never dropping
+      below the original SIGMA).
+
+    Edits are constraint-level only, so instances valid for ``schema``
+    stay valid across the whole trace.  Identical arguments produce
+    identical traces - the soak harness leans on this for replay.
+    """
+    if n_ops < 0:
+        raise SchemaError("n_ops must be non-negative")
+    rng = random.Random(seed)
+    table = dict(DEFAULT_TRACE_WEIGHTS if weights is None else weights)
+    unknown = set(table) - set(DEFAULT_TRACE_WEIGHTS)
+    if unknown:
+        raise SchemaError(
+            f"unknown trace ops {sorted(unknown)}; expected a subset of "
+            f"{sorted(DEFAULT_TRACE_WEIGHTS)}"
+        )
+    hierarchy = schema.hierarchy
+    categories = sorted(hierarchy.categories - {ALL})
+    targets = [c for c in categories if hierarchy.descendants(c) - {c}]
+    has_constraints = bool(schema.constraints)
+    ops = sorted(op for op, w in table.items() if w > 0)
+    if not ops:
+        raise SchemaError("the trace weights enable no operations")
+    cumulative: List[Tuple[float, str]] = []
+    total = 0.0
+    for op in ops:
+        total += table[op]
+        cumulative.append((total, op))
+
+    def pick_op() -> str:
+        draw = rng.random() * total
+        for bound, op in cumulative:
+            if draw < bound:
+                return op
+        return cumulative[-1][1]
+
+    trace: List[Tuple[object, ...]] = []
+    pending_adds = 0
+    for _ in range(n_ops):
+        op = pick_op()
+        if op in ("implies", "edit") and not has_constraints:
+            op = "dimsat"
+        if op in ("summarizable", "navigate") and not targets:
+            op = "dimsat"
+        if op == "dimsat":
+            trace.append(("dimsat", rng.choice(categories)))
+        elif op == "implies":
+            template = rng.choice(sorted(schema.constraints, key=unparse))
+            kind = rng.randrange(3)
+            if kind == 0:
+                trace.append(("implies", template))
+            elif kind == 1:
+                trace.append(("implies", Not(template)))
+            else:
+                trace.append(("implies", _implied_weakening(schema, rng)))
+        elif op in ("summarizable", "navigate"):
+            target = rng.choice(targets)
+            below = sorted(hierarchy.descendants(target) - {ALL, target})
+            size = rng.randint(1, min(2, len(below)))
+            sources = tuple(sorted(rng.sample(below, size)))
+            trace.append((op, target, sources))
+        else:  # edit
+            if pending_adds and rng.random() < 0.5:
+                trace.append(("edit", "drop-added"))
+                pending_adds -= 1
+            else:
+                trace.append(
+                    ("edit", "add-implied", _implied_weakening(schema, rng))
+                )
+                pending_adds += 1
+    return trace
 
 
 def replicated_instance(

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import ALL, dimsat
+from repro.errors import SchemaError
 from repro.generators.random_schema import (
     RandomSchemaConfig,
     bottom_category,
@@ -12,7 +13,10 @@ from repro.generators.random_schema import (
     random_hierarchy,
     random_schema,
     schemas_by_size,
+    shrink_schema,
+    write_falsifier,
 )
+from repro.io.json_io import schema_from_json, schema_to_json
 
 
 class TestHierarchyGeneration:
@@ -91,3 +95,120 @@ class TestSweeps:
         assert sorted(schemas) == [4, 8, 12]
         for size, schema in schemas.items():
             assert len(schema.hierarchy.categories) == size + 1
+
+
+class TestShrinking:
+    def _unsat_setup(self, seed=42):
+        schema = random_schema(
+            RandomSchemaConfig(n_categories=8, n_layers=3, seed=seed)
+        )
+        bottom = bottom_category(schema)
+        broken = make_unsatisfiable(schema, bottom)
+
+        def predicate(candidate):
+            if bottom not in candidate.hierarchy.categories:
+                return False
+            return not dimsat(candidate, bottom).satisfiable
+
+        return broken, bottom, predicate
+
+    def test_shrink_preserves_failure_and_minimizes(self):
+        broken, bottom, predicate = self._unsat_setup()
+        small = shrink_schema(broken, predicate)
+        assert predicate(small)
+        assert len(small.hierarchy.categories) < len(
+            broken.hierarchy.categories
+        )
+        assert len(small.constraints) < len(broken.constraints)
+        # 1-minimal over constraints: dropping any one loses the failure.
+        for node in small.constraints:
+            remaining = [c for c in small.constraints if c is not node]
+            from repro.core import DimensionSchema
+
+            candidate = DimensionSchema(small.hierarchy, remaining)
+            assert not predicate(candidate)
+
+    def test_shrink_is_deterministic(self):
+        broken, _, predicate = self._unsat_setup()
+        one = shrink_schema(broken, predicate)
+        two = shrink_schema(broken, predicate)
+        assert schema_to_json(one) == schema_to_json(two)
+
+    def test_shrink_rejects_passing_start(self):
+        schema = random_schema(RandomSchemaConfig(n_categories=6, seed=0))
+        with pytest.raises(SchemaError):
+            shrink_schema(schema, lambda s: False)
+
+    def test_predicate_exception_treated_as_not_failing(self):
+        broken, bottom, predicate = self._unsat_setup()
+
+        def brittle(candidate):
+            if len(candidate.hierarchy.categories) < 4:
+                raise RuntimeError("boom")
+            return predicate(candidate)
+
+        small = shrink_schema(broken, brittle)
+        # Never shrinks into the region where the predicate blows up.
+        assert len(small.hierarchy.categories) >= 4
+        assert predicate(small)
+
+    def test_write_falsifier_round_trips(self, tmp_path):
+        broken, bottom, predicate = self._unsat_setup()
+        small = shrink_schema(broken, predicate)
+        path = write_falsifier(
+            small, str(tmp_path / "sub" / "fals.json"), note="seed-42 unsat"
+        )
+        text = (tmp_path / "sub" / "fals.json").read_text()
+        import json
+
+        assert json.loads(text)["_falsifier"] == "seed-42 unsat"
+        reloaded = schema_from_json(text)
+        assert predicate(reloaded)
+        assert reloaded.fingerprint() == small.fingerprint()
+
+
+class TestCrossProcessDeterminism:
+    """Identical seeds must yield identical schemas in *any* interpreter:
+    the generator may not lean on hash-randomized iteration order."""
+
+    SNIPPET = (
+        "from repro.generators.random_schema import "
+        "RandomSchemaConfig, random_schema; "
+        "from repro.io.json_io import schema_to_json; "
+        "import hashlib, sys; "
+        "cfg = RandomSchemaConfig(n_categories=9, n_layers=3, "
+        "extra_edge_prob=0.4, into_fraction=0.5, "
+        "choice_constraint_prob=0.7, attributed_fraction=0.5, seed=880); "
+        "schema = random_schema(cfg); "
+        "print(hashlib.sha256(schema_to_json(schema).encode()).hexdigest()); "
+        "print(schema.fingerprint())"
+    )
+
+    def test_same_schema_under_different_hash_seeds(self):
+        import os
+        import subprocess
+        import sys
+
+        digests = set()
+        for hash_seed in ("0", "1", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+            result = subprocess.run(
+                [sys.executable, "-c", self.SNIPPET],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            digests.add(result.stdout)
+        assert len(digests) == 1, "schema bytes drifted with PYTHONHASHSEED"
+
+    def test_primary_edges_span_every_category_once(self):
+        hierarchy, primary = random_hierarchy(RandomSchemaConfig(seed=1))
+        children = [child for child, _ in primary]
+        # Exactly one spanning edge per non-All category, emitted in the
+        # deterministic layer order the generator walks.
+        assert sorted(children) == sorted(hierarchy.categories - {"All"})
+        assert len(children) == len(set(children))
+        _, again = random_hierarchy(RandomSchemaConfig(seed=1))
+        assert primary == again

@@ -13,6 +13,7 @@ from repro.generators.suite import personnel_schema, product_schema
 from repro.generators.workloads import (
     implication_workload,
     instance_from_frozen,
+    mixed_trace,
     random_fact_table,
     summarizability_workload,
 )
@@ -105,3 +106,76 @@ class TestQueryWorkloads:
             assert sources
             for source in sources:
                 assert schema.hierarchy.reaches(source, target)
+
+
+class TestMixedTrace:
+    def test_deterministic_per_seed(self):
+        schema = location_schema()
+        one = mixed_trace(schema, n_ops=80, seed=4)
+        two = mixed_trace(schema, n_ops=80, seed=4)
+        assert one == two
+        assert len(one) == 80
+
+    def test_seeds_differ(self):
+        schema = location_schema()
+        assert mixed_trace(schema, n_ops=80, seed=1) != mixed_trace(
+            schema, n_ops=80, seed=2
+        )
+
+    def test_covers_all_op_kinds(self):
+        schema = location_schema()
+        kinds = {op[0] for op in mixed_trace(schema, n_ops=200, seed=0)}
+        assert kinds == {"dimsat", "implies", "summarizable", "navigate", "edit"}
+
+    def test_edits_stay_balanced(self):
+        schema = location_schema()
+        depth = 0
+        for op in mixed_trace(schema, n_ops=300, seed=7):
+            if op[0] != "edit":
+                continue
+            if op[1] == "add-implied":
+                depth += 1
+            else:
+                assert op[1] == "drop-added"
+                depth -= 1
+            # Never drops below the original SIGMA.
+            assert depth >= 0
+
+    def test_added_constraints_are_implied(self):
+        schema = location_schema()
+        for op in mixed_trace(schema, n_ops=200, seed=3):
+            if op[0] == "edit" and op[1] == "add-implied":
+                assert is_implied(schema, op[2])
+
+    def test_summarizable_sources_lie_below_target(self):
+        schema = location_schema()
+        for op in mixed_trace(schema, n_ops=200, seed=5):
+            if op[0] in ("summarizable", "navigate"):
+                _, target, sources = op
+                assert sources
+                for source in sources:
+                    assert schema.hierarchy.reaches(source, target)
+
+    def test_bare_schema_falls_back_to_dimsat(self, loc_hierarchy):
+        from repro.core import DimensionSchema
+
+        bare = DimensionSchema(loc_hierarchy, [])
+        kinds = {op[0] for op in mixed_trace(bare, n_ops=60, seed=0)}
+        assert "implies" not in kinds and "edit" not in kinds
+        assert "dimsat" in kinds
+
+    def test_rejects_unknown_weights_and_negative_ops(self):
+        schema = location_schema()
+        with pytest.raises(SchemaError):
+            mixed_trace(schema, n_ops=10, weights={"teleport": 1.0})
+        with pytest.raises(SchemaError):
+            mixed_trace(schema, n_ops=-1)
+        with pytest.raises(SchemaError):
+            mixed_trace(schema, n_ops=10, weights={"dimsat": 0.0})
+
+    def test_weights_steer_the_mix(self):
+        schema = location_schema()
+        trace = mixed_trace(
+            schema, n_ops=50, seed=0, weights={"dimsat": 1.0}
+        )
+        assert {op[0] for op in trace} == {"dimsat"}

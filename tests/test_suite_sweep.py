@@ -21,6 +21,9 @@ from repro.core.normalize import (
     strengthen_with_intos,
 )
 from repro.core.profile import profile_report, schema_profile
+from repro.core.budget import DecisionBudget
+from repro.core.parallel import ParallelDecisionEngine
+from repro.generators.adversarial import adversarial_corpus
 from repro.generators.suite import suite_schemas
 from repro.io import schema_from_json, schema_report, schema_to_json
 from repro.io.dot import frozen_set_to_dot, hierarchy_to_dot
@@ -93,3 +96,47 @@ class TestSuiteSweep:
             instance = result.witness.to_instance(schema)
             assert instance.is_valid()
             assert satisfies_all(instance, schema.constraints)
+
+
+ADVERSARIAL_CORPUS = adversarial_corpus(seed=0)
+
+
+@pytest.mark.parametrize(
+    "case", ADVERSARIAL_CORPUS, ids=[c.name for c in ADVERSARIAL_CORPUS]
+)
+class TestAdversarialSweep:
+    """The same crash-free bar, over the adversarial corpus, but with a
+    small decision budget: the stress shapes are exactly the ones where
+    an unbounded sweep would stop being a smoke test."""
+
+    BUDGET = DecisionBudget(max_nodes=20_000, time_ms=2_000.0)
+
+    def test_profile_and_report(self, case):
+        profile = schema_profile(case.schema)
+        assert profile.categories >= 2
+        assert "categories (N)" in profile.render()
+
+    def test_json_round_trip(self, case):
+        rebuilt = schema_from_json(schema_to_json(case.schema))
+        assert rebuilt.fingerprint() == case.schema.fingerprint()
+
+    def test_budgeted_engine_agrees_or_degrades(self, case):
+        engine = ParallelDecisionEngine(max_workers=2, budget=self.BUDGET)
+        try:
+            (outcome,) = engine.try_decide_many(
+                [(case.schema, ("dimsat", case.root))]
+            )
+        finally:
+            engine.shutdown()
+        if not isinstance(outcome, BaseException):
+            assert outcome == dimsat(case.schema, case.root).satisfiable
+
+    def test_root_witness_is_valid(self, case):
+        result = dimsat(case.schema, case.root)
+        assert result.satisfiable
+        instance = result.witness.to_instance(case.schema)
+        assert instance.is_valid()
+
+    def test_text_renderings(self, case):
+        assert hierarchy_tree(case.schema.hierarchy).startswith("All")
+        assert hierarchy_to_dot(case.schema.hierarchy).startswith("digraph")
