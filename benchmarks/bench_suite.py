@@ -46,6 +46,17 @@ implication workload, summarizability workload), answered cold
 artifact.  Verdicts must be byte-identical, no decision may fall back,
 and the gate fails below a 10x aggregate speedup.  The numbers go to
 ``BENCH_6.json``.
+
+The edit-survival smoke prices provenance-scoped invalidation under
+continuous schema evolution (ROADMAP item 2's worst case): wide
+evolving schemas with a warm decision cache (full satisfiability sweep
+plus an implication workload), hit by the most *unrelated* constraint
+edit the hierarchy offers.  At least 90% of the warm verdicts must
+survive the edit - rekeyed to the new fingerprint byte-identically to
+a full recomputation - the scoped path (delta + rekey + re-serving the
+warm set) is timed against the fingerprint sledgehammer (recompute
+everything), and the edited cache must round-trip the persistent store
+with a clean audit replay.  The numbers go to ``BENCH_7.json``.
 """
 
 from __future__ import annotations
@@ -65,7 +76,11 @@ from repro.core import is_implied, satisfiability_report
 from repro.core.decisioncache import DecisionCache
 from repro.core.parallel import ParallelDecisionEngine
 from repro.core.summarizability import is_summarizable_in_schema
-from repro.generators.random_schema import RandomSchemaConfig, schemas_by_size
+from repro.generators.random_schema import (
+    RandomSchemaConfig,
+    random_schema,
+    schemas_by_size,
+)
 from repro.generators.suite import suite_schemas
 from repro.generators.workloads import implication_workload, summarizability_workload
 
@@ -828,6 +843,258 @@ def _compiled_smoke(output_path, repeats=7):
     return report
 
 
+#: Seeds of the evolving-schema fleet for the edit-survival smoke (all
+#: three land in the fast tail of the generator's DIMSAT cost
+#: distribution, keeping the smoke's wall clock in seconds).
+EDIT_SURVIVAL_SEEDS = (1, 3, 7)
+
+
+def _edit_survival(output_path, repeats=5):
+    """Warm-verdict survival across an unrelated constraint edit.
+
+    The scenario is ROADMAP item 2's worst case: a long-lived process
+    with a warm decision cache over a wide schema (24 categories, four
+    layers - the shape where dependency cones are small relative to the
+    whole) receives a constraint edit.  Before provenance-scoped
+    invalidation, the fingerprint change threw away *every* warm
+    verdict; now only the verdicts whose dependency cone the edit
+    touches may go.
+
+    The warm set is a full category satisfiability sweep plus an
+    implication workload.  The edit is chosen from the hierarchy's own
+    bottom edges (a rollup tautology ``child -> parent implies child ->
+    parent``, textually new so the fingerprint must change) by picking
+    the candidate whose constraint footprint is most disjoint from the
+    warm cones - i.e. the most unrelated edit the schema offers, which
+    is exactly the case the sledgehammer handled worst.  Summarizability
+    verdicts are deliberately absent from the warm set: Theorem 1
+    quantifies over every bottom member, so their cones legitimately
+    span every bottom's upward closure and *no* constraint edit near a
+    bottom can spare them.
+
+    Correctness gates (hard ``AssertionError``s): the surviving keys
+    must be exactly the ones the recorded provenance predicts, every
+    survivor must be byte-identical (canonical verdict JSON) to a fresh
+    sequential recomputation on the edited schema, nothing may remain
+    under the replaced fingerprint, and the aggregate survival must
+    reach 90%.  The timed comparison prices the sledgehammer (recompute
+    the whole warm set cold, which is what fingerprint invalidation
+    forced) against the scoped path (delta + rekey + re-serving the
+    warm set through the cache, where survivors hit and only the
+    dropped verdicts recompute) - interleaved repeats, best-of-two
+    samples per side, process CPU clock.  Finally the edited caches
+    round-trip the persistent store and must replay clean through the
+    audit-verify machinery on load.
+    """
+    from repro._types import ALL
+    from repro.core import load_cache, save_cache
+    from repro.core.dimsat import dimsat as run_dimsat
+    from repro.core.implication import implies as run_implies
+    from repro.core.provenance import schema_delta
+    from repro.olap.maintenance import SchemaEditor
+
+    def canonical(verdict):
+        """Byte-comparable verdict content (work counters depend on
+        process-global circle caches, so they stay out)."""
+        satisfiable = getattr(verdict, "satisfiable", None)
+        if satisfiable is not None:
+            return json.dumps([satisfiable, repr(verdict.witness)])
+        return json.dumps([verdict.implied, repr(verdict.counterexample)])
+
+    def recompute(schema, key):
+        """Fresh sequential recomputation of one warm cache key."""
+        if key[1] == "dimsat":
+            return run_dimsat(schema, key[2])
+        return run_implies(schema, key[2], cache=None)
+
+    def serve(cache, schema, key):
+        """The same decision through the (possibly rekeyed) cache."""
+        if key[1] == "dimsat":
+            return cache.dimsat(schema, key[2])
+        return cache.implies(schema, key[2])
+
+    per_schema = {}
+    total_warm = total_survived = 0
+    sledgehammer_total = scoped_total = 0.0
+    persist_cache = DecisionCache()
+
+    for seed in EDIT_SURVIVAL_SEEDS:
+        name = f"evolving-24x4-s{seed}"
+        schema = random_schema(
+            RandomSchemaConfig(n_categories=24, n_layers=4, seed=seed)
+        )
+        warm_cache = DecisionCache()
+        for category in sorted(schema.hierarchy.categories - {ALL}):
+            warm_cache.dimsat(schema, category)
+        for query in implication_workload(schema, n_queries=20, seed=1):
+            warm_cache.implies(schema, query)
+        warm_keys = warm_cache.entries_for(schema.fingerprint())
+        provenance = {
+            key: warm_cache.provenance_of(key) for key in warm_keys
+        }
+        snapshot = warm_cache.snapshot()
+
+        # Choose the most unrelated edit among the hierarchy's bottom
+        # edges: the tautology whose footprint spares the most cones.
+        bottoms = set(schema.hierarchy.bottom_categories())
+        best = None
+        for child, parent in sorted(schema.hierarchy.edges):
+            if child not in bottoms or parent == ALL:
+                continue
+            text = f"{child} -> {parent} implies {child} -> {parent}"
+            candidate = schema.with_constraints([text])
+            if candidate.fingerprint() == schema.fingerprint():
+                continue  # textually present already - not an edit
+            delta = schema_delta(schema, candidate)
+            survivors = frozenset(
+                key
+                for key in warm_keys
+                if provenance[key] is not None
+                and provenance[key].survives(delta)
+            )
+            if best is None or len(survivors) > len(best[1]):
+                best = (text, survivors)
+        edit_text, expected_survivors = best
+
+        # Correctness pass (untimed): apply the edit through the real
+        # editor path and hold the rekey to the provenance's promise.
+        cache = DecisionCache()
+        cache.install(*snapshot)
+        edited = SchemaEditor(schema, cache).add_constraint(edit_text)
+        if cache.holds(schema.fingerprint()):
+            raise AssertionError(
+                f"{name}: replaced fingerprint still resident after edit"
+            )
+        rekeyed = set(cache.entries_for(edited.fingerprint()))
+        expected_rekeyed = {
+            (edited.fingerprint(),) + key[1:] for key in expected_survivors
+        }
+        if rekeyed != expected_rekeyed:
+            raise AssertionError(
+                f"{name}: rekeyed keys diverge from recorded provenance"
+            )
+        for key in sorted(expected_survivors, key=repr):
+            survivor = cache.peek((edited.fingerprint(),) + key[1:])
+            if canonical(survivor) != canonical(recompute(edited, key)):
+                raise AssertionError(
+                    f"{name}: surviving verdict for {key[1:]!r} is not "
+                    "byte-identical to a fresh recomputation"
+                )
+        persist_cache.install(*cache.snapshot())
+
+        # Timed comparison: the sledgehammer recomputes the whole warm
+        # set cold; the scoped path pays delta + rekey, then re-serves
+        # the warm set (survivors hit, dropped verdicts recompute).
+        sledgehammer_times = []
+        scoped_times = []
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for repeat in range(repeats):
+                gc.collect()
+                pair_sledgehammer = []
+                pair_scoped = []
+                for _ in range(2):
+                    for side in (0, 1) if repeat % 2 == 0 else (1, 0):
+                        if side == 0:
+                            cpu = time.process_time()
+                            for key in warm_keys:
+                                recompute(edited, key)
+                            pair_sledgehammer.append(
+                                time.process_time() - cpu
+                            )
+                        else:
+                            sample = DecisionCache()
+                            sample.install(*snapshot)
+                            cpu = time.process_time()
+                            sample.rekey(schema, edited)
+                            for key in warm_keys:
+                                serve(sample, edited, key)
+                            pair_scoped.append(time.process_time() - cpu)
+                sledgehammer_times.append(min(pair_sledgehammer))
+                scoped_times.append(min(pair_scoped))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+        sledgehammer_s = min(sledgehammer_times)
+        scoped_s = min(scoped_times)
+        sledgehammer_total += sledgehammer_s
+        scoped_total += scoped_s
+        total_warm += len(warm_keys)
+        total_survived += len(expected_survivors)
+        per_schema[name] = {
+            "warm": len(warm_keys),
+            "survived": len(expected_survivors),
+            "dropped": len(warm_keys) - len(expected_survivors),
+            "survival_pct": 100.0 * len(expected_survivors) / len(warm_keys),
+            "edit": edit_text,
+            "sledgehammer_s": sledgehammer_s,
+            "scoped_s": scoped_s,
+            "speedup": sledgehammer_s / scoped_s
+            if scoped_s
+            else float("inf"),
+        }
+
+    survival_pct = 100.0 * total_survived / total_warm
+    if survival_pct < 90.0:
+        raise AssertionError(
+            f"edit survival {survival_pct:.1f}% below the 90% gate"
+        )
+
+    # Persistence leg: the edited caches must round-trip the disk store
+    # and replay clean through the audit-verify machinery on load.
+    persist_dir = tempfile.mkdtemp(prefix="repro-cache-")
+    save_report = save_cache(persist_cache, persist_dir)
+    reloaded = DecisionCache()
+    load_report = load_cache(reloaded, persist_dir, verify_replay=True)
+    if not load_report.clean or load_report.dropped_divergent:
+        raise AssertionError(
+            "persistent cache did not replay clean: "
+            + "; ".join(load_report.divergences)
+        )
+    if load_report.loaded != len(persist_cache):
+        raise AssertionError(
+            f"persistent cache lost entries on reload "
+            f"({load_report.loaded} of {len(persist_cache)})"
+        )
+
+    report = {
+        "benchmark": "edit-time verdict survival "
+        "(provenance-scoped invalidation)",
+        "baseline": "fingerprint sledgehammer: recompute the whole warm "
+        "set cold after the edit (cache=None)",
+        "scoped": "schema delta + rekey + re-serve the warm set through "
+        "the cache (survivors hit, dropped verdicts recompute)",
+        "repeats": repeats,
+        "timing": "interleaved repeats, best-of-two samples per side per "
+        "repeat, process CPU clock; speedups are ratios of per-side "
+        "minima",
+        "schemas": per_schema,
+        "total": {
+            "warm": total_warm,
+            "survived": total_survived,
+            "survival_pct": survival_pct,
+            "sledgehammer_s": sledgehammer_total,
+            "scoped_s": scoped_total,
+            "speedup": sledgehammer_total / scoped_total
+            if scoped_total
+            else float("inf"),
+        },
+        "persistence": {
+            "directory": persist_dir,
+            "entries": save_report.entries,
+            "bytes": save_report.bytes_written,
+            "loaded": load_report.loaded,
+            "replayed": load_report.replayed,
+            "dropped_divergent": load_report.dropped_divergent,
+            "clean": load_report.clean,
+        },
+    }
+    output_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
 def _main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -937,6 +1204,32 @@ def _main(argv=None):
         print("FAIL: compiled tier below 10x on cold decisions")
         return 1
     print("OK: compiled tier at or above 10x with identical verdicts")
+
+    bench7_path = output_path.with_name("BENCH_7.json")
+    survival = _edit_survival(bench7_path)
+    survival_total = survival["total"]
+    persistence = survival["persistence"]
+    print(
+        f"edit survival benchmark: {survival_total['survived']}/"
+        f"{survival_total['warm']} warm verdicts survived "
+        f"({survival_total['survival_pct']:.1f}%), sledgehammer "
+        f"{survival_total['sledgehammer_s'] * 1000:.1f} ms vs scoped "
+        f"{survival_total['scoped_s'] * 1000:.1f} ms "
+        f"({survival_total['speedup']:.1f}x), persisted reload "
+        f"{persistence['loaded']}/{persistence['entries']} entries, "
+        f"{persistence['dropped_divergent']} divergent, "
+        f"report -> {bench7_path}"
+    )
+    if survival_total["survival_pct"] < 90.0:
+        print("FAIL: warm-verdict survival below 90% across an edit")
+        return 1
+    if not persistence["clean"] or persistence["dropped_divergent"]:
+        print("FAIL: persisted cache did not replay clean on reload")
+        return 1
+    print(
+        "OK: >=90% of warm verdicts survive byte-identically, "
+        "persisted cache replays clean"
+    )
     hot = sorted(
         parallel["trace_summary"].items(),
         key=lambda kv: kv[1]["total_ms"],

@@ -46,6 +46,7 @@ GATED_METRICS: Tuple[Tuple[str, Tuple[str, ...], str], ...] = (
     ("BENCH_4.json", ("overhead_pct",), "overhead"),
     ("BENCH_5.json", ("overhead_pct",), "overhead"),
     ("BENCH_6.json", ("total", "speedup"), "speedup"),
+    ("BENCH_7.json", ("total", "survival_pct"), "speedup"),
 )
 
 
@@ -171,6 +172,7 @@ def _synthetic_documents() -> Dict[str, Dict[str, Any]]:
         "BENCH_4.json": {"overhead_pct": 2.0},
         "BENCH_5.json": {"overhead_pct": 1.0},
         "BENCH_6.json": {"total": {"speedup": 11.0}},
+        "BENCH_7.json": {"total": {"survival_pct": 94.0}},
     }
 
 

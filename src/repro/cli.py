@@ -536,6 +536,22 @@ def build_parser() -> argparse.ArgumentParser:
         "Perfetto flamegraph) on exit",
     )
     parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persist the decision cache across processes: load a "
+        "versioned, checksummed snapshot from DIR before the command "
+        "(replay-verifying every entry against the sequential kernel and "
+        "dropping divergences) and atomically save the warm cache back "
+        "on exit; a missing or corrupt file degrades to a cold start",
+    )
+    parser.add_argument(
+        "--no-cache-verify",
+        action="store_true",
+        help="with --cache-dir, skip the load-time replay verification "
+        "(checksum and schema-fingerprint checks still apply)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -832,6 +848,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.core.telemetry import TelemetryPipeline
 
             pipeline = TelemetryPipeline(telemetry_dir).install()
+        cache_dir = getattr(args, "cache_dir", None)
+        if cache_dir:
+            from repro.core.cachestore import CacheStoreError, load_cache
+            from repro.core.decisioncache import default_decision_cache
+
+            try:
+                load_report = load_cache(
+                    default_decision_cache(),
+                    cache_dir,
+                    verify_replay=not getattr(args, "no_cache_verify", False),
+                )
+                if load_report.found:
+                    print(load_report.render(), file=sys.stderr)
+            except CacheStoreError as error:
+                # A bad cache file must never take the command down; warn
+                # and run cold.
+                print(
+                    f"warning: ignoring persistent cache: {error}",
+                    file=sys.stderr,
+                )
         spec = getattr(args, "inject_faults", None)
         if spec:
             with inject_faults(spec):
@@ -855,6 +891,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         if pipeline is not None:
             pipeline.finalize()
+        if getattr(args, "cache_dir", None):
+            from repro.core.cachestore import save_cache
+            from repro.core.decisioncache import default_decision_cache
+            from repro.core.faults import CacheStoreFault
+
+            try:
+                save_cache(default_decision_cache(), args.cache_dir)
+            except (CacheStoreFault, OSError) as error:
+                # A failed save only costs the next run a cold start.
+                print(
+                    f"warning: persistent cache not saved: {error}",
+                    file=sys.stderr,
+                )
         if getattr(args, "cache_stats", False):
             from repro.core.decisioncache import default_decision_cache
 

@@ -687,6 +687,12 @@ class CompiledArtifactStore:
                 )
         return dropped
 
+    def holds(self, fingerprint: str) -> bool:
+        """Whether an artifact (or cached failure) exists for
+        ``fingerprint``."""
+        with self._lock:
+            return fingerprint in self._artifacts
+
     def clear(self) -> None:
         with self._lock:
             self._artifacts.clear()

@@ -29,8 +29,8 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import asdict, astuple, dataclass
-from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, Optional, Tuple
+from dataclasses import asdict, dataclass, fields
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro._types import Category
 from repro.core.auditlog import AUDIT
@@ -46,17 +46,36 @@ _M_MISSES = METRICS.counter("decision_cache.misses")
 _M_EVICTIONS = METRICS.counter("decision_cache.evictions")
 _M_INVALIDATIONS = METRICS.counter("decision_cache.invalidations")
 _M_STORE_FAILURES = METRICS.counter("decision_cache.store_failures")
+_M_REKEYED = METRICS.counter("decision_cache.rekeyed")
+_M_SELF_EVICTIONS = METRICS.counter("decision_cache.self_evictions")
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.budget import DecisionBudget
     from repro.core.dimsat import DimsatOptions, DimsatResult
     from repro.core.implication import ImplicationResult
+    from repro.core.provenance import SchemaDelta, VerdictProvenance
     from repro.core.schema import DimensionSchema
 
 
 #: Sentinel distinguishing "use the process-wide default cache" (the
 #: argument default everywhere) from an explicit ``None`` (uncached).
 USE_DEFAULT_CACHE: Any = object()
+
+
+def _hashable(value: object) -> object:
+    """Normalize a field value to something hashable.
+
+    Future option fields may be lists, sets, or dicts; the cache key must
+    never become silently unhashable, so containers collapse to sorted
+    tuples here.
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted((_hashable(item) for item in value), key=repr))
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    return value
 
 
 def _options_key(options: "Optional[DimsatOptions]") -> Tuple[object, ...]:
@@ -66,10 +85,19 @@ def _options_key(options: "Optional[DimsatOptions]") -> Tuple[object, ...]:
     turn an answer into a budget exception and ``keep_trace`` changes the
     result payload, so the full option tuple participates in the key -
     correctness first, sharing second.
+
+    Each field appears as an explicit ``(name, value)`` pair rather than
+    through ``dataclasses.astuple``: astuple deep-converts recursively
+    and depends on positional field order, so a reordered or
+    container-typed option field would silently change (or break) every
+    key.  The regression test pins this shape.
     """
     if options is None:
         return ()
-    return astuple(options)
+    return tuple(
+        (field.name, _hashable(getattr(options, field.name)))
+        for field in fields(options)
+    )
 
 
 @dataclass
@@ -84,6 +112,13 @@ class DecisionCacheStats:
     #: fault).  The computed verdict was still returned - a failed store
     #: degrades throughput, never correctness.
     store_failures: int = 0
+    #: Verdicts moved to a new fingerprint by provenance-scoped
+    #: :meth:`DecisionCache.rekey` instead of being discarded.
+    rekeyed: int = 0
+    #: Evictions forced onto the fingerprint being stored because every
+    #: resident entry already belonged to it (the hot schema filled the
+    #: cache on its own).
+    self_evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -115,6 +150,12 @@ class DecisionCache:
         self.stats = DecisionCacheStats()
         self._lock = threading.Lock()
         self._data: Dict[Tuple[object, ...], object] = {}
+        #: Dependency set per entry (same full key); missing or ``None``
+        #: means "invalidate on any edit" - conservative, never wrong.
+        self._provenance: Dict[Tuple[object, ...], "Optional[VerdictProvenance]"] = {}
+        #: The schema behind each resident fingerprint, kept so the disk
+        #: store can persist a replayable sidecar per schema version.
+        self._schemas: Dict[str, "DimensionSchema"] = {}
 
     # ------------------------------------------------------------------
     # Generic memoization
@@ -168,15 +209,26 @@ class DecisionCache:
             )
         else:
             value = compute()
+        # Provenance is derived only after ``compute`` succeeded, and a
+        # derivation failure degrades to ``None`` (= invalidate on any
+        # edit) rather than failing the decision.
+        try:
+            from repro.core.provenance import provenance_for_key
+
+            provenance: "Optional[VerdictProvenance]" = provenance_for_key(
+                schema, key
+            )
+        except Exception:  # pragma: no cover - defensive degradation
+            provenance = None
         try:
             FAULTS.cache_store()
             with self._lock:
                 if full_key not in self._data:
                     if len(self._data) >= self.max_entries:
-                        self._data.pop(next(iter(self._data)))
-                        self.stats.evictions += 1
-                        _M_EVICTIONS.inc()
+                        self._evict_for(full_key[0])
                     self._data[full_key] = value
+                    self._provenance[full_key] = provenance
+                    self._schemas.setdefault(full_key[0], schema)  # type: ignore[arg-type]
         except CacheStoreFault:
             # A failed store is pure degradation: the verdict was computed
             # and is correct, so serve it; the cache just stays cold for
@@ -187,6 +239,29 @@ class DecisionCache:
             if TRACER.enabled:
                 TRACER.event("decision_cache.store_failed", kind=str(key[0]))
         return value
+
+    def _evict_for(self, fingerprint: object) -> None:
+        """Make room for an entry of ``fingerprint`` (lock held).
+
+        FIFO, but the oldest entry belonging to *another* schema version
+        goes first: a hot schema at capacity must not cannibalize its own
+        warm verdicts while stale versions sit in the table.  Only when
+        every resident entry already carries the incoming fingerprint is
+        one of its own evicted (counted separately as a self-eviction).
+        """
+        victim = None
+        for candidate in self._data:
+            if candidate[0] != fingerprint:
+                victim = candidate
+                break
+        if victim is None:
+            victim = next(iter(self._data))
+            self.stats.self_evictions += 1
+            _M_SELF_EVICTIONS.inc()
+        self._data.pop(victim)
+        self._provenance.pop(victim, None)
+        self.stats.evictions += 1
+        _M_EVICTIONS.inc()
 
     # ------------------------------------------------------------------
     # The three decision procedures
@@ -287,6 +362,8 @@ class DecisionCache:
             doomed = [k for k in self._data if k[0] == fingerprint]
             for k in doomed:
                 del self._data[k]
+                self._provenance.pop(k, None)
+            self._schemas.pop(fingerprint, None)  # type: ignore[arg-type]
             self.stats.invalidations += len(doomed)
         if doomed:
             _M_INVALIDATIONS.inc(len(doomed))
@@ -294,10 +371,122 @@ class DecisionCache:
             TRACER.event("decision_cache.invalidate", entries=len(doomed))
         return len(doomed)
 
+    def rekey(
+        self,
+        old_schema: "DimensionSchema",
+        new_schema: "DimensionSchema",
+        delta: "Optional[SchemaDelta]" = None,
+    ) -> Tuple[int, int]:
+        """Provenance-scoped invalidation after a schema edit.
+
+        Every verdict cached under ``old_schema``'s fingerprint whose
+        dependency set (:class:`~repro.core.provenance.VerdictProvenance`)
+        is untouched by the edit is *moved* to ``new_schema``'s
+        fingerprint - byte-identical by the soundness argument in
+        :mod:`repro.core.provenance` - and the rest are dropped.  Entries
+        without provenance are dropped unconditionally.
+
+        Returns ``(moved, dropped)``.  A surviving entry's provenance
+        carries over unchanged: the survival rules guarantee the
+        dependency cone (categories, edges, rooted constraints, bottoms)
+        reads identically off the edited schema.
+        """
+        from repro.core.provenance import schema_delta
+
+        old_fingerprint = old_schema.fingerprint()
+        new_fingerprint = new_schema.fingerprint()
+        if old_fingerprint == new_fingerprint:
+            return (0, 0)
+        if delta is None:
+            delta = schema_delta(old_schema, new_schema)
+        moved = dropped = 0
+        with self._lock:
+            for k in [key for key in self._data if key[0] == old_fingerprint]:
+                value = self._data.pop(k)
+                provenance = self._provenance.pop(k, None)
+                if provenance is not None and provenance.survives(delta):
+                    new_key = (new_fingerprint,) + k[1:]
+                    self._data[new_key] = value
+                    self._provenance[new_key] = provenance
+                    moved += 1
+                else:
+                    dropped += 1
+            self._schemas.pop(old_fingerprint, None)
+            if moved:
+                self._schemas.setdefault(new_fingerprint, new_schema)
+            self.stats.rekeyed += moved
+            self.stats.invalidations += dropped
+        if moved:
+            _M_REKEYED.inc(moved)
+        if dropped:
+            _M_INVALIDATIONS.inc(dropped)
+        if TRACER.enabled:
+            TRACER.event("decision_cache.rekey", moved=moved, dropped=dropped)
+        return moved, dropped
+
+    def holds(self, fingerprint: str) -> bool:
+        """Whether any entry is cached under ``fingerprint``."""
+        with self._lock:
+            return any(k[0] == fingerprint for k in self._data)
+
+    def entries_for(self, fingerprint: str) -> List[Tuple[object, ...]]:
+        """The full keys cached under ``fingerprint``."""
+        with self._lock:
+            return [k for k in self._data if k[0] == fingerprint]
+
+    def peek(self, full_key: Tuple[object, ...]) -> Optional[object]:
+        """The stored value for one full key without counting a hit
+        (``None`` when absent) - used by the soak harness to audit
+        rekeyed entries against the oracle."""
+        with self._lock:
+            return self._data.get(full_key)
+
+    def provenance_of(
+        self, full_key: Tuple[object, ...]
+    ) -> "Optional[VerdictProvenance]":
+        """The dependency set recorded for one entry (``None`` when the
+        entry is absent or was stored without provenance)."""
+        with self._lock:
+            return self._provenance.get(full_key)
+
+    def snapshot(
+        self,
+    ) -> Tuple[
+        Dict[Tuple[object, ...], object],
+        Dict[Tuple[object, ...], "Optional[VerdictProvenance]"],
+        Dict[str, "DimensionSchema"],
+    ]:
+        """A consistent ``(entries, provenance, schemas)`` copy for the
+        disk store (:mod:`repro.core.cachestore`)."""
+        with self._lock:
+            return dict(self._data), dict(self._provenance), dict(self._schemas)
+
+    def install(
+        self,
+        entries: Dict[Tuple[object, ...], object],
+        provenance: Dict[Tuple[object, ...], "Optional[VerdictProvenance]"],
+        schemas: Dict[str, "DimensionSchema"],
+    ) -> int:
+        """Merge a loaded snapshot into the cache (resident entries win);
+        returns how many entries were installed."""
+        installed = 0
+        with self._lock:
+            for key, value in entries.items():
+                if key in self._data or len(self._data) >= self.max_entries:
+                    continue
+                self._data[key] = value
+                self._provenance[key] = provenance.get(key)
+                installed += 1
+            for fingerprint, schema in schemas.items():
+                self._schemas.setdefault(fingerprint, schema)
+        return installed
+
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
         with self._lock:
             self._data.clear()
+            self._provenance.clear()
+            self._schemas.clear()
             self.stats = DecisionCacheStats()
 
     def __len__(self) -> int:
@@ -317,7 +506,9 @@ class DecisionCache:
             f"  misses         {self.stats.misses}",
             f"  hit rate       {self.stats.hit_rate:.1%}",
             f"  evictions      {self.stats.evictions}",
+            f"  self-evictions {self.stats.self_evictions}",
             f"  invalidations  {self.stats.invalidations}",
+            f"  rekeyed        {self.stats.rekeyed}",
             f"  store failures {self.stats.store_failures}",
             "circle-operator cache:",
             f"  entries        {len(circ)}",

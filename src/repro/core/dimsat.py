@@ -842,6 +842,25 @@ def dimsat(
     )
 
 
+def decision_provenance(schema: DimensionSchema, category: Category):
+    """The dependency set of a DIMSAT verdict rooted at ``category``.
+
+    EXPAND only ever adds parents of categories already in the
+    subhierarchy (Figure 6 lines 6-17), so the whole search - and with it
+    the verdict, witness, and work counters - is a function of the upward
+    closure of ``category``: the categories reachable from it, the edges
+    whose child lies inside that closure, and the constraints that
+    mention a closure category (``SIGMA(ds, c)`` plus the ones
+    contributing ``Const_ds`` constants or thresholds from outside).
+    The :class:`~repro.core.decisioncache.DecisionCache` stores this next
+    to the cached result so schema edits outside the closure re-key the
+    verdict instead of discarding it.
+    """
+    from repro.core.provenance import cone_provenance
+
+    return cone_provenance(schema, "dimsat", (category,))
+
+
 def enumerate_frozen_dimensions(
     schema: DimensionSchema,
     category: Category,

@@ -132,6 +132,37 @@ def implies(
     )
 
 
+def implication_provenance(schema: DimensionSchema, constraint: object):
+    """The dependency set of an implication verdict for ``constraint``.
+
+    Theorem 2 reduces ``ds |= alpha`` to DIMSAT over ``(G, SIGMA | {NOT
+    alpha})`` rooted at ``root(alpha)``; ``NOT alpha`` travels in the
+    cache key, so the schema-side dependency is the upward closure of the
+    root in ``G`` - widened by any category ``alpha`` itself mentions, so
+    that dropping such a category (which would make a fresh decision
+    reject the query) also invalidates the cached verdict.
+    """
+    from repro.core.provenance import VerdictProvenance, cone_provenance
+
+    node: Node = parse(constraint) if isinstance(constraint, str) else constraint  # type: ignore[assignment]
+    root = constraint_root(node)
+    if root is None:
+        return None
+    from repro.core.provenance import mentioned_categories
+
+    base = cone_provenance(schema, "implies", (root,))
+    extra = mentioned_categories(node) - base.categories
+    if not extra:
+        return base
+    return VerdictProvenance(
+        kind=base.kind,
+        categories=base.categories | extra,
+        edges=base.edges,
+        constraints=base.constraints,
+        bottoms=base.bottoms,
+    )
+
+
 def is_implied(
     schema: DimensionSchema,
     constraint: object,

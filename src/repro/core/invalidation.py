@@ -1,0 +1,81 @@
+"""One registry for every store that caches by schema fingerprint.
+
+The maintenance layer used to invalidate the decision cache and the
+compiled-artifact store with two separate calls - a hazard, because a
+future fingerprint-keyed store (a remote cache, a materialized report)
+would silently be forgotten and keep serving entries for a replaced
+schema version.  Every such store registers here, and
+:func:`invalidate_everywhere` sweeps them all in one call.
+
+A store must expose ``invalidate(fingerprint) -> int`` and
+``holds(fingerprint) -> bool`` (the test suite uses ``holds`` to assert
+that *no* registered store retains a replaced fingerprint after an
+edit).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, List, Tuple
+
+__all__ = [
+    "invalidate_everywhere",
+    "register_store",
+    "registered_stores",
+]
+
+_LOCK = threading.Lock()
+_STORES: List[object] = []
+_DEFAULTS_REGISTERED = False
+
+
+def register_store(store: object) -> None:
+    """Add a fingerprint-keyed store to the invalidation sweep (idempotent
+    by identity)."""
+    with _LOCK:
+        if not any(existing is store for existing in _STORES):
+            _STORES.append(store)
+
+
+def _ensure_defaults() -> None:
+    # Imported lazily: decisioncache and compile both sit below the OLAP
+    # layers that import this module, and registering at import time of
+    # *this* module keeps them cycle-free.
+    global _DEFAULTS_REGISTERED
+    with _LOCK:
+        if _DEFAULTS_REGISTERED:
+            return
+        _DEFAULTS_REGISTERED = True
+    from repro.core.compile import compiled_artifact_store
+    from repro.core.decisioncache import default_decision_cache
+
+    register_store(default_decision_cache())
+    register_store(compiled_artifact_store())
+
+
+def registered_stores() -> Tuple[object, ...]:
+    """Every registered store (the process-wide decision cache and
+    compiled-artifact store are always included)."""
+    _ensure_defaults()
+    with _LOCK:
+        return tuple(_STORES)
+
+
+def invalidate_everywhere(
+    fingerprint: str, exclude: Iterable[object] = ()
+) -> int:
+    """Drop every entry cached under ``fingerprint`` from every
+    registered store; returns the total number of entries removed.
+
+    ``exclude`` (identity-compared) skips stores already handled by a
+    finer-grained mechanism - ``SchemaEditor`` passes its own cache,
+    which :meth:`~repro.core.decisioncache.DecisionCache.rekey` has
+    already swept.
+    """
+    excluded = tuple(exclude)
+    total = 0
+    for store in registered_stores():
+        if any(store is skipped for skipped in excluded):
+            continue
+        total += int(store.invalidate(fingerprint) or 0)  # type: ignore[attr-defined]
+    return total

@@ -171,6 +171,8 @@ class SoakReport:
     homogenize_checks: int = 0
     cross_checks: int = 0
     cross_check_skips: int = 0
+    #: Rekeyed cache entries audited against the oracle after edits.
+    rekey_checks: int = 0
     elapsed_s: float = 0.0
     ops_by_kind: Dict[str, int] = field(default_factory=dict)
     families: List[str] = field(default_factory=list)
@@ -197,6 +199,7 @@ class SoakReport:
             "homogenize_checks": self.homogenize_checks,
             "cross_checks": self.cross_checks,
             "cross_check_skips": self.cross_check_skips,
+            "rekey_checks": self.rekey_checks,
             "elapsed_s": round(self.elapsed_s, 3),
             "ops_by_kind": dict(sorted(self.ops_by_kind.items())),
             "families": self.families,
@@ -218,6 +221,7 @@ class SoakReport:
             f"homogenize checks={self.homogenize_checks}",
             f"  compiled cross-checks={self.cross_checks} "
             f"(skipped {self.cross_check_skips})",
+            f"  rekeyed-entry audits={self.rekey_checks}",
         ]
         if self.violations:
             lines.append(f"  VIOLATIONS ({len(self.violations)}):")
@@ -677,6 +681,7 @@ class _SoakRun:
             state.editor.drop_constraint(node)
             self.report.edits += 1
             self._check_cache_clean(state, engine, step)
+            self._check_rekey_sound(state, step)
             return
 
         node = op[2]  # type: ignore[assignment]
@@ -720,6 +725,7 @@ class _SoakRun:
                     falsifier,
                 )
         self._check_cache_clean(state, engine, step)
+        self._check_rekey_sound(state, step)
 
     def _stability_predicate(
         self, node: Node, probe: Sequence[object]
@@ -738,6 +744,42 @@ class _SoakRun:
             )
 
         return predicate
+
+    def _check_rekey_sound(self, state: _CaseState, step: int) -> None:
+        """Post-edit: every verdict the provenance-scoped rekey carried
+        over to the new fingerprint must match a fresh sequential run
+        (sampled, default-options entries only) - a mismatch means a
+        dependency cone was computed too narrow."""
+        from repro.core.auditlog import _verdict_of
+
+        cache = state.editor._cache
+        if cache is None:
+            return
+        schema = state.schema
+        checked = 0
+        for full_key in cache.entries_for(schema.fingerprint()):
+            key = full_key[1:]
+            if key[-1] != ():
+                continue
+            stored = cache.peek(full_key)
+            if stored is None:
+                continue
+            request = list(key[:-1])
+            truth = oracle_decide(schema, request)
+            self.report.rekey_checks += 1
+            if _verdict_of(stored) != truth:
+                self.report.wrong_verdicts += 1
+                self._violation(
+                    "rekey-soundness",
+                    state,
+                    step,
+                    f"rekeyed {_describe_request(request)}: cached="
+                    f"{_verdict_of(stored)} fresh-oracle={truth} "
+                    f"(fingerprint {schema.fingerprint()[:12]})",
+                )
+            checked += 1
+            if checked >= 4:
+                break
 
     def _check_cache_clean(
         self,

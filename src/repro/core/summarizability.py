@@ -160,6 +160,24 @@ def _is_summarizable_uncached(
     return True
 
 
+def summarizability_provenance(
+    schema: DimensionSchema, target: Category, sources: Iterable[Category]
+):
+    """The dependency set of a schema-level summarizability verdict.
+
+    Theorem 1 runs one implication test per bottom category, so the
+    dependency cone is the union of every bottom's upward closure
+    (usually the whole hierarchy) *and* the bottom set itself: an edit
+    that changes which categories are bottoms changes the quantifier,
+    so such verdicts never survive it.
+    """
+    from repro.core.provenance import cone_provenance
+
+    bottoms = schema.hierarchy.bottom_categories()
+    roots = set(bottoms) | {target} | set(sources)
+    return cone_provenance(schema, "summarizable", roots, bottoms=bottoms)
+
+
 def _check_categories(
     hierarchy: HierarchySchema, target: Category, sources: Iterable[Category]
 ) -> None:

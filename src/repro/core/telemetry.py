@@ -597,6 +597,13 @@ def render_report(directory: str) -> str:
             f" store failures {counters.get('decision_cache.store_failures', 0)})"
         )
         lines.append(
+            "  edit survival   rekeyed "
+            f"{counters.get('decision_cache.rekeyed', 0)} verdicts across "
+            f"{counters.get('decision_cache.invalidations', 0)} invalidations"
+            f"  (self-evictions {counters.get('decision_cache.self_evictions', 0)},"
+            f" persisted loads {counters.get('cache_persist.loaded_entries', 0)})"
+        )
+        lines.append(
             "  circle cache    hit rate "
             + _rate(
                 counters.get("circle_cache.hits", 0),

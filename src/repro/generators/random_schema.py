@@ -201,9 +201,9 @@ def bottom_category(schema: DimensionSchema) -> Category:
 
 def _mentions(node: Node, category: Category) -> bool:
     """Whether a constraint mentions ``category`` in any of its atoms."""
-    from repro.olap.maintenance import _mentioned_categories
+    from repro.core.provenance import mentioned_categories
 
-    return category in _mentioned_categories(node)
+    return category in mentioned_categories(node)
 
 
 def _without_category(

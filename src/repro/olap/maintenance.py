@@ -29,15 +29,15 @@ cache space across long edit sessions.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 from repro._types import Category, Member
-from repro.constraints.ast import Node
 from repro.constraints.parser import parse
 from repro.constraints.printer import unparse
-from repro.core.compile import compiled_artifact_store
 from repro.core.decisioncache import USE_DEFAULT_CACHE, resolve_cache
 from repro.core.instance import DimensionInstance
+from repro.core.invalidation import invalidate_everywhere
+from repro.core.provenance import mentioned_categories, schema_delta
 from repro.core.schema import DimensionSchema
 from repro.errors import OlapError, SchemaError
 from repro.olap.aggregates import AggregateFunction
@@ -103,28 +103,18 @@ def apply_delta(
     )
 
 
-def _mentioned_categories(node: Node) -> Set[Category]:
-    """Every category an atom of ``node`` refers to."""
-    mentioned: Set[Category] = set()
-    for atom in node.atoms():
-        mentioned.add(atom.root)
-        for attribute in ("category", "target", "via"):
-            value = getattr(atom, attribute, None)
-            if value is not None:
-                mentioned.add(value)
-        if hasattr(atom, "path"):
-            mentioned.update(atom.path)
-    return mentioned
-
-
 class SchemaEditor:
     """Applies schema mutations with decision-cache hygiene.
 
     Each operation derives a new immutable schema from the current one,
-    evicts the replaced version's entries from the decision cache, and
-    makes the new version current.  ``editor.schema`` always holds the
-    latest version; every operation also returns it, so one-off edits can
-    stay expression-shaped.
+    *rekeys* the replaced version's surviving verdicts to the new
+    fingerprint (provenance-scoped invalidation,
+    :meth:`~repro.core.decisioncache.DecisionCache.rekey`), sweeps every
+    other registered fingerprint store
+    (:func:`~repro.core.invalidation.invalidate_everywhere`), and makes
+    the new version current.  ``editor.schema`` always holds the latest
+    version; every operation also returns it, so one-off edits can stay
+    expression-shaped.
 
     An edit that would leave an existing constraint invalid (e.g. dropping
     an edge a path atom rides on) raises and leaves the current schema
@@ -147,11 +137,20 @@ class SchemaEditor:
         self.history.append(new_schema.fingerprint())
         if replaced.fingerprint() != new_schema.fingerprint():
             if self._cache is not None:
-                self._cache.invalidate(replaced)
-            # The compiled decision tier keys artifacts by the same
-            # fingerprint; drop the replaced version's artifact so a long
-            # edit session cannot pin dead solvers in memory.
-            compiled_artifact_store().invalidate(replaced)
+                # Verdicts whose dependency cone the edit never touched
+                # move to the new fingerprint (byte-identical by the
+                # soundness argument in ``repro.core.provenance``); the
+                # rest are dropped.
+                delta = schema_delta(replaced, new_schema)
+                self._cache.rekey(replaced, new_schema, delta)
+            # Every other fingerprint-keyed store (the compiled decision
+            # tier, anything registered later) is swept in one call, so a
+            # long edit session cannot pin dead entries in memory and a
+            # future store cannot be forgotten.
+            invalidate_everywhere(
+                replaced.fingerprint(),
+                exclude=() if self._cache is None else (self._cache,),
+            )
         return new_schema
 
     # ------------------------------------------------------------------
@@ -199,7 +198,7 @@ class SchemaEditor:
         kept = [
             node
             for node in self.schema.constraints
-            if category not in _mentioned_categories(node)
+            if category not in mentioned_categories(node)
         ]
         return self._commit(DimensionSchema(hierarchy, kept))
 

@@ -1,0 +1,194 @@
+"""The persistent decision-cache store: round trips, atomicity,
+corruption detection, version skew, and replay verification."""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.core import (
+    CacheStoreError,
+    DecisionCache,
+    is_category_satisfiable,
+    is_implied,
+    is_summarizable_in_schema,
+    load_cache,
+    save_cache,
+)
+from repro.core.cachestore import FORMAT_VERSION, cache_file_path
+from repro.core.faults import CacheStoreFault, inject_faults
+
+
+@pytest.fixture()
+def warm_cache(loc_schema) -> DecisionCache:
+    cache = DecisionCache()
+    is_implied(loc_schema, "Store.City.Country", cache=cache)
+    is_category_satisfiable(loc_schema, "SaleRegion", cache=cache)
+    is_summarizable_in_schema(loc_schema, "Country", ("City",), cache=cache)
+    return cache
+
+
+class TestRoundTrip:
+    def test_save_load_serves_hits(self, warm_cache, loc_schema, tmp_path):
+        report = save_cache(warm_cache, str(tmp_path))
+        assert report.entries == len(warm_cache)
+        assert report.schemas == 1
+        assert os.path.exists(report.path)
+
+        fresh = DecisionCache()
+        load_report = load_cache(fresh, str(tmp_path))
+        assert load_report.found and load_report.clean
+        assert load_report.loaded == len(warm_cache)
+        assert load_report.replayed == load_report.loaded
+        assert len(fresh) == len(warm_cache)
+        assert is_implied(loc_schema, "Store.City.Country", cache=fresh)
+        assert fresh.stats.hits == 1 and fresh.stats.misses == 0
+
+    def test_loaded_entries_keep_their_provenance(
+        self, warm_cache, loc_schema, tmp_path
+    ):
+        save_cache(warm_cache, str(tmp_path))
+        fresh = DecisionCache()
+        load_cache(fresh, str(tmp_path))
+        key = (loc_schema.fingerprint(), "dimsat", "SaleRegion", ())
+        provenance = fresh.provenance_of(key)
+        assert provenance is not None
+        assert provenance == warm_cache.provenance_of(key)
+        # ... so a loaded cache still rekeys across edits.
+        edited = loc_schema.with_constraints(
+            ["Store -> City implies Store -> City"]
+        )
+        moved, _dropped = fresh.rekey(loc_schema, edited)
+        assert moved >= 1
+
+    def test_missing_file_is_a_cold_start(self, tmp_path):
+        report = load_cache(DecisionCache(), str(tmp_path))
+        assert not report.found
+        assert report.loaded == 0
+
+    def test_skip_replay_still_checksums(self, warm_cache, tmp_path):
+        save_cache(warm_cache, str(tmp_path))
+        fresh = DecisionCache()
+        report = load_cache(fresh, str(tmp_path), verify_replay=False)
+        assert report.loaded == len(warm_cache)
+        assert report.replayed == 0
+
+
+class TestIntegrity:
+    def test_truncated_payload_is_rejected(self, warm_cache, tmp_path):
+        save_cache(warm_cache, str(tmp_path))
+        path = cache_file_path(str(tmp_path))
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[:-7])
+        with pytest.raises(CacheStoreError, match="checksum"):
+            load_cache(DecisionCache(), str(tmp_path))
+
+    def test_flipped_payload_byte_is_rejected(self, warm_cache, tmp_path):
+        save_cache(warm_cache, str(tmp_path))
+        path = cache_file_path(str(tmp_path))
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(CacheStoreError, match="checksum"):
+            load_cache(DecisionCache(), str(tmp_path))
+
+    def test_garbage_header_is_rejected(self, tmp_path):
+        path = cache_file_path(str(tmp_path))
+        open(path, "wb").write(b"\x00\x01 not a cache\n")
+        with pytest.raises(CacheStoreError):
+            load_cache(DecisionCache(), str(tmp_path))
+
+    def test_version_skew_is_rejected(self, warm_cache, tmp_path):
+        save_cache(warm_cache, str(tmp_path))
+        path = cache_file_path(str(tmp_path))
+        with open(path, "rb") as handle:
+            header = json.loads(handle.readline())
+            payload = handle.read()
+        header["version"] = FORMAT_VERSION + 1
+        with open(path, "wb") as handle:
+            handle.write(json.dumps(header, sort_keys=True).encode() + b"\n")
+            handle.write(payload)
+        with pytest.raises(CacheStoreError, match="version"):
+            load_cache(DecisionCache(), str(tmp_path))
+
+    def test_injected_store_fault_leaves_previous_file(
+        self, warm_cache, tmp_path
+    ):
+        save_cache(warm_cache, str(tmp_path))
+        before = open(cache_file_path(str(tmp_path)), "rb").read()
+        with inject_faults("cache-store:p=1.0"):
+            with pytest.raises(CacheStoreFault):
+                save_cache(warm_cache, str(tmp_path))
+        assert open(cache_file_path(str(tmp_path)), "rb").read() == before
+        assert not os.path.exists(cache_file_path(str(tmp_path)) + ".tmp")
+
+
+class TestReplayVerification:
+    def test_divergent_entry_is_dropped_and_reported(
+        self, warm_cache, loc_schema, tmp_path
+    ):
+        """Flip one stored verdict (with a valid checksum) - the replay
+        pass must catch and drop it, keeping the honest entries."""
+        save_cache(warm_cache, str(tmp_path))
+        path = cache_file_path(str(tmp_path))
+        with open(path, "rb") as handle:
+            handle.readline()
+            data = pickle.loads(handle.read())
+        key = (loc_schema.fingerprint(), "dimsat", "SaleRegion", ())
+        honest = data["entries"][key]
+        data["entries"][key] = type(honest)(
+            satisfiable=not honest.satisfiable,
+            witness=honest.witness,
+            stats=honest.stats,
+            trace=honest.trace,
+        )
+        payload = pickle.dumps(data, protocol=pickle.HIGHEST_PROTOCOL)
+        import hashlib
+
+        header = {
+            "magic": "repro-decision-cache",
+            "version": FORMAT_VERSION,
+            "entries": len(data["entries"]),
+            "schemas": len(data["schemas"]),
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+        }
+        with open(path, "wb") as handle:
+            handle.write(json.dumps(header, sort_keys=True).encode() + b"\n")
+            handle.write(payload)
+
+        fresh = DecisionCache()
+        report = load_cache(fresh, str(tmp_path))
+        assert report.dropped_divergent == 1
+        assert not report.clean
+        assert report.loaded == len(warm_cache) - 1
+        assert fresh.peek(key) is None  # the lie never entered the cache
+
+    def test_tampered_schema_sidecar_is_rejected(self, warm_cache, tmp_path):
+        save_cache(warm_cache, str(tmp_path))
+        path = cache_file_path(str(tmp_path))
+        with open(path, "rb") as handle:
+            handle.readline()
+            data = pickle.loads(handle.read())
+        fingerprint = next(iter(data["schemas"]))
+        text = data["schemas"][fingerprint]
+        data["schemas"][fingerprint] = text.replace(
+            '"Store"', '"Depot"'
+        )
+        payload = pickle.dumps(data, protocol=pickle.HIGHEST_PROTOCOL)
+        import hashlib
+
+        header = {
+            "magic": "repro-decision-cache",
+            "version": FORMAT_VERSION,
+            "entries": len(data["entries"]),
+            "schemas": len(data["schemas"]),
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+        }
+        with open(path, "wb") as handle:
+            handle.write(json.dumps(header, sort_keys=True).encode() + b"\n")
+            handle.write(payload)
+        with pytest.raises(CacheStoreError):
+            load_cache(DecisionCache(), str(tmp_path))

@@ -144,6 +144,45 @@ class TestInvalidation:
         assert cache.stats.misses == 0
 
 
+class TestOptionsKey:
+    def test_key_shape_is_named_per_field(self):
+        """Pin the explicit (name, value) pair shape: a reordered or
+        renamed `DimsatOptions` field must change the key visibly, and
+        the `astuple` positional footgun must stay gone."""
+        from dataclasses import fields
+
+        from repro.core.decisioncache import _options_key
+
+        assert _options_key(None) == ()
+        key = _options_key(DimsatOptions())
+        assert key == tuple(
+            (f.name, getattr(DimsatOptions(), f.name)) for f in fields(DimsatOptions)
+        )
+        names = [pair[0] for pair in key]
+        assert "max_expansions" in names and "keep_trace" in names
+        hash(key)  # the whole point: always hashable
+
+    def test_container_fields_stay_hashable(self):
+        """Regression for the astuple hazard: a future list/set/dict
+        option field must normalize into a hashable key, not blow up
+        every memoized decision."""
+        from dataclasses import make_dataclass, field
+
+        from repro.core.decisioncache import _options_key
+
+        Grown = make_dataclass(
+            "Grown",
+            [
+                ("flags", list, field(default_factory=lambda: ["a", "b"])),
+                ("tags", set, field(default_factory=lambda: {"y", "x"})),
+                ("table", dict, field(default_factory=lambda: {"k": [1, 2]})),
+            ],
+        )
+        key = _options_key(Grown())
+        hash(key)
+        assert key == _options_key(Grown())  # deterministic (sets sorted)
+
+
 class TestEviction:
     def test_fifo_eviction_is_bounded(self, loc_schema):
         small = DecisionCache(max_entries=2)
@@ -151,6 +190,70 @@ class TestEviction:
             is_category_satisfiable(loc_schema, category, cache=small)
         assert len(small) == 2
         assert small.stats.evictions == 2
+
+    def test_hot_schema_evicts_other_fingerprints_first(self, loc_schema):
+        """At capacity, the oldest entry of *another* schema version goes
+        before any entry of the schema being stored."""
+        other = loc_schema.with_constraints(["Store -> SaleRegion"])
+        small = DecisionCache(max_entries=2)
+        is_category_satisfiable(other, "Store", cache=small)  # stale version
+        is_category_satisfiable(loc_schema, "Store", cache=small)
+        is_category_satisfiable(loc_schema, "City", cache=small)  # at capacity
+        assert small.stats.evictions == 1
+        assert small.stats.self_evictions == 0
+        assert not small.holds(other.fingerprint())  # the stale entry went
+        assert len(small.entries_for(loc_schema.fingerprint())) == 2
+
+    def test_self_eviction_only_when_alone_and_counted(self, loc_schema):
+        small = DecisionCache(max_entries=2)
+        for category in ["Store", "City", "State"]:
+            is_category_satisfiable(loc_schema, category, cache=small)
+        assert len(small) == 2
+        assert small.stats.evictions == 1
+        assert small.stats.self_evictions == 1  # nothing else to evict
+        # The newest entries survive; the oldest self-evicted.
+        kept = {key[2] for key in small.entries_for(loc_schema.fingerprint())}
+        assert kept == {"City", "State"}
+
+
+class TestRekey:
+    def test_unrelated_edit_moves_entries_byte_identically(self, loc_schema, cache):
+        warm = implies(loc_schema, "Store.City.Country", cache=cache)
+        sat = is_category_satisfiable(loc_schema, "SaleRegion", cache=cache)
+        edited = loc_schema.with_constraints(
+            ["Store -> City implies Store -> City"]
+        )
+        moved, dropped = cache.rekey(loc_schema, edited)
+        # The implies cone covers every category above Store (the edit's
+        # Store/City footprint hits it); SaleRegion's upward cone
+        # ({SaleRegion, Country, All}) does not contain Store or City.
+        assert (moved, dropped) == (1, 1)
+        assert cache.stats.rekeyed == 1
+        assert not cache.holds(loc_schema.fingerprint())
+        hits = cache.stats.hits
+        assert is_category_satisfiable(edited, "SaleRegion", cache=cache) == sat
+        assert cache.stats.hits == hits + 1
+        fresh = is_category_satisfiable(edited, "SaleRegion", cache=None)
+        assert sat == fresh
+        assert warm.implied  # the dropped one recomputes correctly fresh
+        assert implies(edited, "Store.City.Country", cache=None).implied
+
+    def test_identical_fingerprint_is_a_no_op(self, loc_schema, cache):
+        is_category_satisfiable(loc_schema, "Store", cache=cache)
+        rebuilt = DimensionSchema(
+            loc_schema.hierarchy, list(loc_schema.constraints)
+        )
+        assert cache.rekey(loc_schema, rebuilt) == (0, 0)
+        assert len(cache) == 1
+
+    def test_provenance_is_recorded_per_entry(self, loc_schema, cache):
+        is_category_satisfiable(loc_schema, "SaleRegion", cache=cache)
+        key = (loc_schema.fingerprint(), "dimsat", "SaleRegion", ())
+        provenance = cache.provenance_of(key)
+        assert provenance is not None
+        assert provenance.kind == "dimsat"
+        assert "SaleRegion" in provenance.categories
+        assert "Store" not in provenance.categories  # upward closure only
 
 
 class TestReport:

@@ -117,22 +117,75 @@ class TestCacheHygiene:
         "add_constraint": lambda e: e.add_constraint("Base -> A"),
         "drop_constraint": lambda e: e.drop_constraint("C -> T"),
     }
+    #: The warmed verdict is ``ds |= C -> T``, whose dependency cone is
+    #: {C, T, All}.  Every op except ``drop_constraint`` edits outside
+    #: that cone (the Base/A branch), so the verdict is *rekeyed* to the
+    #: new fingerprint; dropping ``C -> T`` touches it and evicts.
+    SURVIVES = {
+        "add_edge": True,
+        "drop_edge": True,
+        "add_category": True,
+        "drop_category": True,
+        "add_constraint": True,
+        "drop_constraint": False,
+    }
 
     @pytest.mark.parametrize("op", sorted(OPS))
-    def test_every_op_rekeys_and_evicts(self, hierarchy, cache, op):
+    def test_every_op_rekeys_or_evicts(self, hierarchy, cache, op):
         base = (
             DimensionSchema(hierarchy.without_edge("Base", "A"), ["C -> T"])
             if op == "add_edge"
             else DimensionSchema(hierarchy, ["C -> T"])
         )
         editor = SchemaEditor(base, cache)
-        is_implied(base, "C -> T", cache=cache)  # warm one verdict
-        assert len(cache) >= 1
+        warm = cache.implies(base, "C -> T")
+        assert len(cache) == 1
         edited = self.OPS[op](editor)
         assert edited.fingerprint() != base.fingerprint()
         assert editor.history == [base.fingerprint(), edited.fingerprint()]
-        assert len(cache) == 0  # old version's entries evicted
-        assert cache.stats.invalidations >= 1
+        # The replaced fingerprint never retains entries, either way.
+        assert not cache.holds(base.fingerprint())
+        if self.SURVIVES[op]:
+            assert len(cache) == 1
+            assert cache.stats.rekeyed == 1
+            # The survivor answers under the new fingerprint as a hit and
+            # is byte-identical to a fresh uncached recomputation.
+            hits_before = cache.stats.hits
+            survived = cache.implies(edited, "C -> T")
+            assert cache.stats.hits == hits_before + 1
+            assert survived is warm
+            fresh = DecisionCache().implies(edited, "C -> T")
+            assert survived.implied == fresh.implied
+            assert repr(survived.counterexample) == repr(fresh.counterexample)
+        else:
+            assert len(cache) == 0
+            assert cache.stats.rekeyed == 0
+            assert cache.stats.invalidations >= 1
+
+    def test_no_registered_store_retains_replaced_fingerprint(
+        self, hierarchy, cache
+    ):
+        """The dual-store hazard the `invalidate_everywhere` helper
+        closes: after any edit, no registered fingerprint store still
+        holds the replaced version."""
+        from repro.core import compiled_artifact_store, registered_stores
+
+        for op in sorted(self.OPS):
+            base = (
+                DimensionSchema(hierarchy.without_edge("Base", "A"), ["C -> T"])
+                if op == "add_edge"
+                else DimensionSchema(hierarchy, ["C -> T"])
+            )
+            editor = SchemaEditor(base, cache)
+            cache.implies(base, "C -> T")
+            compiled_artifact_store().get(base)
+            self.OPS[op](editor)
+            stale = [
+                type(store).__name__
+                for store in (*registered_stores(), cache)
+                if store.holds(base.fingerprint())
+            ]
+            assert stale == [], f"{op}: stale stores {stale}"
 
     def test_editor_without_cache_still_edits(self, schema):
         editor = SchemaEditor(schema, cache=None)

@@ -234,6 +234,71 @@ class TestCacheStats:
         assert "decision cache:" in captured.err
 
 
+class TestCacheDir:
+    @pytest.fixture(autouse=True)
+    def _clean_default_cache(self):
+        from repro.core import default_decision_cache
+
+        default_decision_cache().clear()
+        yield
+        default_decision_cache().clear()
+
+    def test_cache_persists_across_invocations(
+        self, schema_file, tmp_path, capsys
+    ):
+        from repro.core import default_decision_cache
+
+        cache_dir = str(tmp_path / "cache")
+        assert (
+            main(["--cache-dir", cache_dir, "implies", schema_file, "Store -> City"])
+            == 0
+        )
+        import os
+
+        assert os.path.exists(os.path.join(cache_dir, "decisions.cache"))
+        # Second process (simulated by clearing the in-memory cache):
+        # the verdict loads from disk, replay-verifies, and serves as a
+        # hit without recomputation.
+        default_decision_cache().clear()
+        capsys.readouterr()
+        assert (
+            main(["--cache-dir", cache_dir, "implies", schema_file, "Store -> City"])
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "cache-load:" in captured.err
+        assert default_decision_cache().stats.hits >= 1
+        assert default_decision_cache().stats.misses == 0
+
+    def test_corrupt_cache_warns_and_runs_cold(
+        self, schema_file, tmp_path, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / "decisions.cache").write_bytes(b"\x00garbage\n")
+        assert (
+            main(
+                ["--cache-dir", str(cache_dir), "implies", schema_file, "Store -> City"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "warning: ignoring persistent cache" in captured.err
+        assert "implied" in captured.out
+
+    def test_missing_dir_is_a_cold_start(self, schema_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "never-created")
+        assert (
+            main(["--cache-dir", cache_dir, "implies", schema_file, "Store -> City"])
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "cache-load:" not in captured.err  # nothing to load
+        import os
+
+        assert os.path.exists(os.path.join(cache_dir, "decisions.cache"))
+
+
 class TestTrace:
     def test_trace_json_round_trips_the_snapshot(self, schema_file, capsys):
         assert (

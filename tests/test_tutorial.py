@@ -187,3 +187,39 @@ class TestSection15Soak:
         )
         assert report.ok
         assert report.wrong_verdicts == 0
+
+
+class TestSection16SurvivingEdits:
+    def test_unrelated_edit_rekeys_instead_of_flushing(self, ds):
+        """'Survivors are rekeyed to the new fingerprint - same verdict
+        object, zero recomputation - and only the touched cones drop.'"""
+        from repro.core.decisioncache import DecisionCache
+        from repro.olap.maintenance import SchemaEditor
+
+        cache = DecisionCache()
+        warm = cache.dimsat(ds, "Center")  # cone: Center, Region, All
+        editor = SchemaEditor(ds, cache)
+        edited = editor.add_constraint(
+            "Shipment -> Gateway implies Shipment -> Gateway"
+        )
+        assert not cache.holds(ds.fingerprint())
+        assert cache.stats.rekeyed == 1
+        assert cache.dimsat(edited, "Center") is warm  # a hit, not a redo
+
+    def test_persistent_cache_round_trip_replays_clean(self, ds, tmp_path):
+        """'On load every default-options entry is replayed through the
+        audit-verify machinery before it may serve.'"""
+        from repro.core import load_cache, save_cache
+        from repro.core.decisioncache import DecisionCache
+
+        cache = DecisionCache()
+        cache.dimsat(ds, "Shipment")
+        cache.implies(ds, "Center -> Region")
+        save_cache(cache, str(tmp_path))
+
+        reloaded = DecisionCache()
+        report = load_cache(reloaded, str(tmp_path))
+        assert report.found and report.clean
+        assert report.replayed == report.loaded == len(cache)
+        assert reloaded.implies(ds, "Center -> Region").implied
+        assert reloaded.stats.hits == 1

@@ -19,7 +19,9 @@ sys.modules.setdefault("watchdog", watchdog)
 _spec.loader.exec_module(watchdog)
 
 
-def _write_docs(directory: Path, b1=4.0, b2=3.0, b4=2.0, b5=1.0, b6=11.0):
+def _write_docs(
+    directory: Path, b1=4.0, b2=3.0, b4=2.0, b5=1.0, b6=11.0, b7=94.0
+):
     directory.mkdir(parents=True, exist_ok=True)
     documents = {
         "BENCH_1.json": {"total": {"speedup": b1}},
@@ -27,6 +29,7 @@ def _write_docs(directory: Path, b1=4.0, b2=3.0, b4=2.0, b5=1.0, b6=11.0):
         "BENCH_4.json": {"overhead_pct": b4},
         "BENCH_5.json": {"overhead_pct": b5},
         "BENCH_6.json": {"total": {"speedup": b6}},
+        "BENCH_7.json": {"total": {"survival_pct": b7}},
     }
     for filename, document in documents.items():
         (directory / filename).write_text(json.dumps(document) + "\n")
@@ -40,7 +43,7 @@ class TestCompare:
             tmp_path / "baseline", tmp_path / "fresh", tolerance=0.15
         )
         assert report["ok"] and report["regressions"] == 0
-        assert len(report["metrics"]) == 5
+        assert len(report["metrics"]) == 6
 
     def test_25pct_speedup_loss_is_flagged(self, tmp_path):
         _write_docs(tmp_path / "baseline")
@@ -62,6 +65,16 @@ class TestCompare:
         assert not report["ok"]
         (regressed,) = [r for r in report["metrics"] if r["regressed"]]
         assert regressed["file"] == "BENCH_6.json"
+
+    def test_edit_survival_drop_is_flagged(self, tmp_path):
+        _write_docs(tmp_path / "baseline")
+        _write_docs(tmp_path / "fresh", b7=94.0 / 1.25)
+        report = watchdog.compare(
+            tmp_path / "baseline", tmp_path / "fresh", tolerance=0.15
+        )
+        assert not report["ok"]
+        (regressed,) = [r for r in report["metrics"] if r["regressed"]]
+        assert regressed["file"] == "BENCH_7.json"
 
     def test_overhead_growth_is_a_cost_ratio_not_a_pct_diff(self, tmp_path):
         # +2% -> +7% overhead is only a ~4.9% cost increase; the 15%
