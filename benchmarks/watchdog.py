@@ -39,7 +39,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 #: The committed trajectory: (file, path-into-the-document, direction).
 #: ``speedup`` metrics are higher-better (cost = 1/value); ``overhead``
-#: metrics are lower-better percentages (cost = 1 + value/100).
+#: metrics are lower-better percentages (cost = 1 + value/100);
+#: ``latency`` metrics are lower-better absolutes (cost = value).
 GATED_METRICS: Tuple[Tuple[str, Tuple[str, ...], str], ...] = (
     ("BENCH_1.json", ("total", "speedup"), "speedup"),
     ("BENCH_2.json", ("speedup",), "speedup"),
@@ -47,6 +48,8 @@ GATED_METRICS: Tuple[Tuple[str, Tuple[str, ...], str], ...] = (
     ("BENCH_5.json", ("overhead_pct",), "overhead"),
     ("BENCH_6.json", ("total", "speedup"), "speedup"),
     ("BENCH_7.json", ("total", "survival_pct"), "speedup"),
+    ("BENCH_8.json", ("total", "p99_ms"), "latency"),
+    ("BENCH_8.json", ("total", "warm_hit_pct"), "speedup"),
 )
 
 
@@ -87,6 +90,10 @@ def _cost(value: float, direction: str) -> float:
         if value <= 0:
             raise WatchdogError(f"non-positive speedup {value!r}")
         return 1.0 / value
+    if direction == "latency":
+        if value <= 0:
+            raise WatchdogError(f"non-positive latency {value!r}")
+        return value
     # Overhead percentage; -100% would be a zero-cost run.
     cost = 1.0 + value / 100.0
     if cost <= 0:
@@ -173,6 +180,7 @@ def _synthetic_documents() -> Dict[str, Dict[str, Any]]:
         "BENCH_5.json": {"overhead_pct": 1.0},
         "BENCH_6.json": {"total": {"speedup": 11.0}},
         "BENCH_7.json": {"total": {"survival_pct": 94.0}},
+        "BENCH_8.json": {"total": {"p99_ms": 2.0, "warm_hit_pct": 95.0}},
     }
 
 
@@ -185,6 +193,8 @@ def _degrade(document: Dict[str, Any], keys: Sequence[str], direction: str,
     value = node[keys[-1]]
     if direction == "speedup":
         node[keys[-1]] = value / factor
+    elif direction == "latency":
+        node[keys[-1]] = value * factor
     else:
         node[keys[-1]] = ((1.0 + value / 100.0) * factor - 1.0) * 100.0
 

@@ -505,6 +505,86 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.server import DecisionServer
+
+    engine = _engine_from_args(args)
+    if engine is None:
+        engine = ResilientDecisionEngine(
+            max_workers=getattr(args, "workers", None) or 2,
+            budget=_budget_from_args(args),
+        )
+    server = DecisionServer(
+        engine=engine,
+        host=args.host,
+        port=args.port,
+        cache_dir=getattr(args, "cache_dir", None),
+        max_inflight=args.max_inflight,
+        verify_cache_on_load=not getattr(args, "no_cache_verify", False),
+    )
+    for path in args.schema or []:
+        fingerprint = server.register_schema(_load_schema(path))
+        print(f"registered {path}: {fingerprint}", file=sys.stderr)
+
+    async def _run() -> None:
+        await server.start()
+        # The startup line is the contract scripts wait for; --port-file
+        # carries the ephemeral port to clients that cannot parse stdout.
+        print(f"listening on {server.host}:{server.port}", flush=True)
+        if args.port_file:
+            Path(args.port_file).write_text(f"{server.port}\n")
+        try:
+            await server.wait_stopped()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    finally:
+        server.engine.shutdown()
+    print("server stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_call(args: argparse.Namespace) -> int:
+    from repro.core.client import DecisionClient
+
+    port = args.port
+    if port is None and args.port_file:
+        port = int(Path(args.port_file).read_text().strip())
+    if port is None:
+        print("error: call needs --port or --port-file", file=sys.stderr)
+        return 2
+    payload = {}
+    for item in args.params:
+        key, sep, value = item.partition("=")
+        if not sep:
+            print(f"error: parameter {item!r} is not KEY=VALUE", file=sys.stderr)
+            return 2
+        try:
+            # JSON values pass structured (lists, numbers, booleans);
+            # anything unparsable is a bare string, so categories and
+            # constraints need no quoting gymnastics.
+            payload[key] = json.loads(value)
+        except json.JSONDecodeError:
+            payload[key] = value
+    with DecisionClient(args.host, port) as client:
+        if args.schema:
+            text = Path(args.schema).read_text()
+            if args.op == "load-schema":
+                payload.setdefault("schema_json", text)
+            else:
+                payload.setdefault("fingerprint", client.load_schema(text))
+        response = client.request(args.op, **payload)
+    print(json.dumps(response, indent=2, sort_keys=True))
+    status = response.get("status")
+    if status == "ok":
+        return 0 if response.get("verdict", True) else 1
+    return {"busy": 4, "unknown": 4, "budget-exceeded": 3}.get(status, 2)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-olap",
@@ -822,6 +902,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.set_defaults(handler=_cmd_audit_verify)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived asyncio decision server (length-prefixed "
+        "JSON frames over TCP, warm cache shared by every client)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port; 0 (the default) picks an ephemeral port and "
+        "prints it in the 'listening on HOST:PORT' startup line",
+    )
+    serve.add_argument(
+        "--port-file", metavar="PATH", default=None,
+        help="write the bound port here after startup (for scripts)",
+    )
+    serve.add_argument(
+        "--schema", metavar="FILE", action="append", default=[],
+        help="pre-register a schema JSON file (repeatable); clients can "
+        "also register schemas over the wire with load-schema",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="decision requests evaluated concurrently before new ones "
+        "get a typed busy response (default 8)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    call = sub.add_parser(
+        "call",
+        help="send one request to a running decision server and print "
+        "the JSON response",
+    )
+    call.add_argument("--host", default="127.0.0.1", help="server address")
+    call.add_argument(
+        "--port", type=int, default=None, help="server port"
+    )
+    call.add_argument(
+        "--port-file", metavar="PATH", default=None,
+        help="read the server port from a file written by serve --port-file",
+    )
+    call.add_argument(
+        "--schema", metavar="FILE", default=None,
+        help="schema JSON file: becomes the payload for load-schema, or "
+        "is registered first and its fingerprint filled in for other ops",
+    )
+    call.add_argument(
+        "op",
+        choices=[
+            "decide", "implies", "summarizable", "navigate",
+            "load-schema", "edit", "stats", "shutdown",
+        ],
+        help="wire operation to invoke",
+    )
+    call.add_argument(
+        "params", nargs="*", metavar="KEY=VALUE",
+        help="request fields; VALUE is parsed as JSON when possible, "
+        "kept as a string otherwise (e.g. constraint=Store.City)",
+    )
+    call.set_defaults(handler=_cmd_call)
+
     return parser
 
 
@@ -888,9 +1030,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Ctrl-C mid-command: the finally below still persists the warm
+        # cache and flushes telemetry; exit with the conventional
+        # 128+SIGINT code instead of a traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
     finally:
-        if pipeline is not None:
-            pipeline.finalize()
+        # Every step below runs on EVERY exit path - normal return,
+        # error return, uncaught exception, KeyboardInterrupt - and each
+        # is guarded independently, so a failing telemetry flush cannot
+        # discard the warm cache the command just built (and vice versa).
         if getattr(args, "cache_dir", None):
             from repro.core.cachestore import save_cache
             from repro.core.decisioncache import default_decision_cache
@@ -904,6 +1054,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"warning: persistent cache not saved: {error}",
                     file=sys.stderr,
                 )
+        if pipeline is not None:
+            try:
+                pipeline.finalize()
+            except OSError as error:
+                print(
+                    f"warning: telemetry not finalized: {error}",
+                    file=sys.stderr,
+                )
         if getattr(args, "cache_stats", False):
             from repro.core.decisioncache import default_decision_cache
 
@@ -911,7 +1069,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if getattr(args, "emit_metrics", None):
             from repro.core.metrics import emit_metrics
 
-            emit_metrics(args.emit_metrics)
+            try:
+                emit_metrics(args.emit_metrics)
+            except OSError as error:
+                print(
+                    f"warning: metrics not emitted: {error}",
+                    file=sys.stderr,
+                )
 
 
 if __name__ == "__main__":

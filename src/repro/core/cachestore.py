@@ -31,12 +31,13 @@ re-verified later.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import pickle
 from dataclasses import asdict, dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.auditlog import _replay, _verdict_of
 from repro.core.faults import FAULTS, CacheStoreFault
@@ -78,6 +79,10 @@ class SaveReport:
     entries: int
     schemas: int
     bytes_written: int
+    #: Entries carried over from the previous on-disk store because no
+    #: in-memory entry shadowed them (two processes sharing one
+    #: ``--cache-dir`` must not last-writer-win each other's verdicts).
+    merged_entries: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -137,13 +142,90 @@ def cache_file_path(directory: str) -> str:
     return os.path.join(directory, CACHE_FILENAME)
 
 
-def save_cache(cache: "DecisionCache", directory: str) -> SaveReport:
+@contextlib.contextmanager
+def _advisory_lock(path: str) -> Iterator[None]:
+    """An exclusive advisory lock over one cache file's save critical
+    section (``fcntl.flock`` on a ``.lock`` sidecar).
+
+    Two processes sharing one ``--cache-dir`` - the long-lived decision
+    server plus a sidecar CLI run is the canonical pair - serialize
+    their read-merge-write sequences through this, so neither can merge
+    against a snapshot the other is mid-way through replacing.  On
+    platforms without ``fcntl`` the lock degrades to a no-op: the write
+    itself stays atomic (``os.replace``), merging merely races.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    handle = open(path + ".lock", "a+b")
+    try:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        yield
+    finally:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        handle.close()
+
+
+def _merge_disk_entries(
+    path: str,
+    entries: Dict[Tuple[object, ...], object],
+    provenance: Dict[Tuple[object, ...], object],
+    schema_json: Dict[str, str],
+    capacity: int,
+) -> int:
+    """Fold the previous on-disk store into an about-to-be-saved
+    snapshot (in-memory entries win per key; disk-only entries survive
+    up to ``capacity``).  Returns how many disk entries were carried
+    over.  A corrupt or version-skewed previous file contributes
+    nothing - the save falls back to a plain overwrite.
+    """
+    if not os.path.exists(path):
+        return 0
+    try:
+        disk = _read_verified_payload(path)
+    except (CacheStoreError, OSError):
+        # The previous file cannot be trusted; replacing it wholesale is
+        # the correct degradation (the checksummed write fixes the store).
+        return 0
+    disk_schemas: Dict[str, str] = disk["schemas"]  # type: ignore[assignment]
+    disk_provenance: Dict[Tuple[object, ...], object] = disk["provenance"]  # type: ignore[assignment]
+    merged = 0
+    for key, value in disk["entries"].items():  # type: ignore[union-attr]
+        if key in entries or len(entries) >= capacity:
+            continue
+        fingerprint = key[0]
+        if fingerprint not in schema_json:
+            text = disk_schemas.get(fingerprint)
+            if text is None:
+                # Unpersistable then, unpersistable now.
+                continue
+            schema_json[fingerprint] = text
+        entries[key] = value
+        provenance[key] = disk_provenance.get(key)
+        merged += 1
+    return merged
+
+
+def save_cache(
+    cache: "DecisionCache", directory: str, merge: bool = True
+) -> SaveReport:
     """Persist a consistent snapshot of ``cache`` into ``directory``.
 
     The write is atomic (temp file + fsync + ``os.replace``): readers see
     either the previous complete file or the new one, never a torn state.
     An injected ``cache-store`` fault aborts the save without touching
     the existing file (degradation, not corruption).
+
+    With ``merge`` (the default), entries already on disk that this
+    cache does not hold are carried into the new file instead of being
+    overwritten away - the read-merge-write runs under an advisory file
+    lock, so concurrent writers sharing one directory (a server plus a
+    sidecar CLI) interleave their saves without losing each other's
+    verdicts.  Per-key conflicts keep the in-memory value; decisions are
+    deterministic, so both sides agree anyway.  ``merge=False`` restores
+    the plain overwrite (e.g. after an intentional cache reset).
     """
     from repro.io.json_io import schema_to_json
 
@@ -152,45 +234,56 @@ def save_cache(cache: "DecisionCache", directory: str) -> SaveReport:
         fingerprint: schema_to_json(schema, indent=0)
         for fingerprint, schema in schemas.items()
     }
-    payload = pickle.dumps(
-        {
-            "entries": entries,
-            "provenance": provenance,
-            "schemas": schema_json,
-        },
-        protocol=pickle.HIGHEST_PROTOCOL,
-    )
-    header = {
-        "magic": MAGIC,
-        "version": FORMAT_VERSION,
-        "entries": len(entries),
-        "schemas": len(schema_json),
-        "payload_sha256": hashlib.sha256(payload).hexdigest(),
-    }
     os.makedirs(directory, exist_ok=True)
     path = cache_file_path(directory)
     tmp_path = path + ".tmp"
-    try:
-        FAULTS.cache_store()
-        with open(tmp_path, "wb") as handle:
-            handle.write(json.dumps(header, sort_keys=True).encode("utf-8"))
-            handle.write(b"\n")
-            handle.write(payload)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, path)
-    except CacheStoreFault:
-        # The previous file (if any) is still intact; a failed save only
-        # costs the next process a cold start.
-        if os.path.exists(tmp_path):
-            os.unlink(tmp_path)
-        raise
+    with _advisory_lock(path):
+        merged = 0
+        if merge:
+            merged = _merge_disk_entries(
+                path,
+                entries,
+                provenance,  # type: ignore[arg-type]
+                schema_json,
+                capacity=max(cache.max_entries, len(entries)),
+            )
+        payload = pickle.dumps(
+            {
+                "entries": entries,
+                "provenance": provenance,
+                "schemas": schema_json,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        header = {
+            "magic": MAGIC,
+            "version": FORMAT_VERSION,
+            "entries": len(entries),
+            "schemas": len(schema_json),
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+        }
+        try:
+            FAULTS.cache_store()
+            with open(tmp_path, "wb") as handle:
+                handle.write(json.dumps(header, sort_keys=True).encode("utf-8"))
+                handle.write(b"\n")
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except CacheStoreFault:
+            # The previous file (if any) is still intact; a failed save
+            # only costs the next process a cold start.
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
     _M_SAVED.inc(len(entries))
     return SaveReport(
         path=path,
         entries=len(entries),
         schemas=len(schema_json),
         bytes_written=len(payload),
+        merged_entries=merged,
     )
 
 

@@ -290,6 +290,11 @@ class _RootCompilation:
     ) -> None:
         self.schema = schema
         self.root = root
+        # One compiled root is shared by every thread deciding on its
+        # schema (the decision server multiplexes clients over one
+        # engine); queries mutate the incremental solver, so the whole
+        # assume-solve-decode sequence is a critical section.
+        self._lock = threading.Lock()
         self.solver = Solver()
         # A constant-true variable lets TRUE/FALSE fold into literals.
         self._true = self.solver.new_var()
@@ -473,15 +478,16 @@ class _RootCompilation:
         :class:`CompilationError`, so a solver or encoding defect can
         only ever cost a fallback, never a wrong "satisfiable".
         """
-        assumptions: List[int] = []
-        negated: Optional[Node] = None
-        if query is not None:
-            activation, negated = self.assume_query(query)
-            assumptions.append(activation)
-        if not self.solver.solve(assumptions):
-            return False, None
-        witness = self._decode_witness(negated)
-        return True, witness
+        with self._lock:
+            assumptions: List[int] = []
+            negated: Optional[Node] = None
+            if query is not None:
+                activation, negated = self.assume_query(query)
+                assumptions.append(activation)
+            if not self.solver.solve(assumptions):
+                return False, None
+            witness = self._decode_witness(negated)
+            return True, witness
 
     def _decode_witness(self, negated: Optional[Node]) -> FrozenDimension:
         model_value = self.solver.model_value

@@ -40,6 +40,7 @@ here ever runs and the instrumented sites cost one attribute check.
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 import threading
@@ -122,6 +123,12 @@ class BackgroundWriter:
                     target=self._drain, name="telemetry-writer", daemon=True
                 )
                 self._thread.start()
+                # The drain thread is a daemon, so an interpreter exit
+                # without an explicit close would discard whatever is
+                # still buffered.  The atexit hook drains first; close()
+                # unregisters it, so an explicit close stays the common
+                # path and the hook is the abnormal-exit safety net.
+                atexit.register(self.close)
 
     def submit(self, handle: IO[str], record: object) -> None:
         """Enqueue one record (a JSON-ready mapping, or a pre-rendered
@@ -224,13 +231,15 @@ class BackgroundWriter:
             self._fast = False
 
     def close(self) -> None:
-        """Drain the buffer and stop the writer thread."""
+        """Drain the buffer and stop the writer thread.  Idempotent, and
+        unregisters the interpreter-exit safety net."""
         self.start()
         self.flush()
         self._stop = True
         thread = self._thread
         if thread is not None:
             thread.join(timeout=10.0)
+        atexit.unregister(self.close)
 
 
 # ----------------------------------------------------------------------
@@ -412,7 +421,15 @@ class TelemetryPipeline:
     # -- lifecycle ------------------------------------------------------
 
     def install(self) -> "TelemetryPipeline":
-        """Wire this pipeline into the process-wide tracer and audit log."""
+        """Wire this pipeline into the process-wide tracer and audit log.
+
+        Also registers an interpreter-exit finalize: the writer's drain
+        thread is a daemon and the stream handles are buffered, so a
+        process that ends without an explicit :meth:`finalize` (uncaught
+        exception, ``sys.exit`` deep in a library) would otherwise lose
+        its tail of spans and audit records.  An explicit finalize
+        unregisters the hook; running it twice is a no-op either way.
+        """
         if self._installed:
             return self
         self._tracer_was_enabled = TRACER.enabled
@@ -420,7 +437,14 @@ class TelemetryPipeline:
         TRACER.enable()
         AUDIT.attach(self)
         self._installed = True
+        atexit.register(self._atexit_finalize)
         return self
+
+    def _atexit_finalize(self) -> None:
+        try:
+            self.finalize()
+        except Exception:  # pragma: no cover - best-effort at shutdown
+            pass
 
     def flush(self) -> None:
         """Drain the queue and flush every stream to disk."""
@@ -440,6 +464,7 @@ class TelemetryPipeline:
         """
         if self._finalized:
             return self._manifest()
+        atexit.unregister(self._atexit_finalize)
         if self._installed:
             if AUDIT.sink is self:
                 AUDIT.detach()

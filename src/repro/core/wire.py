@@ -1,0 +1,225 @@
+"""The decision server's wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by exactly
+that many bytes of UTF-8 JSON encoding one request or response object.
+Length-prefixing (over newline-delimiting) keeps the framing independent
+of the payload - schema JSON, counterexample descriptions, and audit
+provenance all travel verbatim without escaping concerns - and lets both
+sides reject oversized frames *before* buffering them.
+
+The same framing is implemented twice on purpose:
+
+* **async** (:func:`read_frame_async` / :func:`write_frame_async`) for
+  the :mod:`repro.core.server` event loop;
+* **blocking** (:func:`read_frame` / :func:`write_frame`) over a plain
+  ``socket.socket`` for :class:`repro.core.client.DecisionClient` and
+  any non-asyncio caller (CI drivers, shell one-liners via
+  ``repro-olap call``).
+
+Requests are objects ``{"op": <str>, ...payload}``; responses are
+objects ``{"op": <str>, "status": <str>, ...payload}`` where ``status``
+is one of :data:`STATUSES`:
+
+``ok``
+    The operation succeeded; the payload carries its result.
+``busy``
+    Backpressure: the server is past its in-flight ceiling and refused
+    to queue the decision.  The request was **not** evaluated - retrying
+    later is always sound, and a BUSY can never stand in for a verdict.
+``unknown``
+    Every rung of the resilience ladder failed; the payload carries the
+    per-attempt failure provenance.  Like BUSY, never a wrong verdict.
+``budget-exceeded``
+    The decision hit its :class:`~repro.core.budget.DecisionBudget`
+    ceiling; a retry with a larger budget is sound (nothing was cached).
+``error``
+    A request-level problem (unknown op, unknown fingerprint, malformed
+    constraint ...).  The payload carries ``error`` (message) and
+    ``error_type``.
+
+Protocol errors (torn frame, bad length, non-JSON payload) raise
+:class:`WireError` - they poison the connection, not the server.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+from repro.errors import ReproError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "STATUSES",
+    "WireError",
+    "decode_frame",
+    "encode_frame",
+    "error_response",
+    "read_frame",
+    "read_frame_async",
+    "write_frame",
+    "write_frame_async",
+]
+
+#: One frame's 4-byte big-endian unsigned length prefix.
+_HEADER = struct.Struct(">I")
+
+#: Ceiling on one frame's payload.  Generous for schema JSON (the
+#: census-scale adversarial schemas serialize well under 1 MiB) while
+#: keeping a corrupt or hostile length prefix from provoking a
+#: multi-gigabyte allocation.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Every response status the protocol may carry.
+STATUSES = ("ok", "busy", "unknown", "budget-exceeded", "error")
+
+
+class WireError(ReproError):
+    """A malformed frame: bad length prefix, truncated payload, payload
+    that is not a JSON object, or a frame past :data:`MAX_FRAME_BYTES`."""
+
+
+def encode_frame(document: Dict[str, Any]) -> bytes:
+    """Serialize one request/response object into a framed byte string."""
+    if not isinstance(document, dict):
+        raise WireError(
+            f"a wire frame must be a JSON object, not {type(document).__name__}"
+        )
+    payload = json.dumps(document, separators=(",", ":"), sort_keys=True).encode(
+        "utf-8"
+    )
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte ceiling"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> Dict[str, Any]:
+    """Parse one frame's payload bytes back into an object."""
+    try:
+        document = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireError(f"frame payload is not valid JSON: {error}")
+    if not isinstance(document, dict):
+        raise WireError(
+            f"frame payload must be a JSON object, "
+            f"not {type(document).__name__}"
+        )
+    return document
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise WireError(
+            f"announced frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte ceiling"
+        )
+
+
+# ----------------------------------------------------------------------
+# Async framing (the server side)
+# ----------------------------------------------------------------------
+
+
+async def read_frame_async(reader: Any) -> Optional[Dict[str, Any]]:
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Returns ``None`` on a clean EOF at a frame boundary (the peer hung
+    up between requests); raises :class:`WireError` when the connection
+    dies mid-frame or the frame is malformed.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise WireError(
+            f"connection closed mid-header ({len(error.partial)} of "
+            f"{_HEADER.size} bytes)"
+        )
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise WireError(
+            f"connection closed mid-frame ({len(error.partial)} of "
+            f"{length} bytes)"
+        )
+    return decode_frame(payload)
+
+
+async def write_frame_async(writer: Any, document: Dict[str, Any]) -> None:
+    """Write one frame to an :class:`asyncio.StreamWriter` and drain."""
+    writer.write(encode_frame(document))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Blocking framing (the client side)
+# ----------------------------------------------------------------------
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise on a mid-read hangup; returns
+    ``b""`` only for a clean EOF before the first byte."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 65536))
+        if not chunk:
+            if remaining == n:
+                return b""
+            raise WireError(
+                f"connection closed mid-read ({n - remaining} of {n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Blocking read of one frame; ``None`` on clean EOF at a boundary."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if not header:
+        return None
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    payload = _recv_exactly(sock, length)
+    if length and not payload:
+        raise WireError("connection closed between header and payload")
+    return decode_frame(payload)
+
+
+def write_frame(sock: socket.socket, document: Dict[str, Any]) -> None:
+    """Blocking write of one frame."""
+    sock.sendall(encode_frame(document))
+
+
+# ----------------------------------------------------------------------
+# Response helpers
+# ----------------------------------------------------------------------
+
+
+def error_response(
+    op: str, error: BaseException | str, **extra: Any
+) -> Dict[str, Any]:
+    """A typed ``status="error"`` response for one failed request."""
+    if isinstance(error, BaseException):
+        message, error_type = str(error), type(error).__name__
+    else:
+        message, error_type = error, "ProtocolError"
+    response = {
+        "op": op,
+        "status": "error",
+        "error": message,
+        "error_type": error_type,
+    }
+    response.update(extra)
+    return response

@@ -126,6 +126,105 @@ class TestIntegrity:
         assert not os.path.exists(cache_file_path(str(tmp_path)) + ".tmp")
 
 
+class TestMergeOnSave:
+    """Two processes sharing one ``--cache-dir`` (the server plus a
+    sidecar CLI) must not last-writer-win away each other's verdicts."""
+
+    def _other_cache(self, loc_schema) -> DecisionCache:
+        """Warm verdicts disjoint from the ``warm_cache`` fixture."""
+        cache = DecisionCache()
+        is_implied(loc_schema, "City.State.Country", cache=cache)
+        is_category_satisfiable(loc_schema, "Province", cache=cache)
+        return cache
+
+    def test_disjoint_writers_union_on_disk(
+        self, warm_cache, loc_schema, tmp_path
+    ):
+        first = save_cache(warm_cache, str(tmp_path))
+        assert first.merged_entries == 0
+        other = self._other_cache(loc_schema)
+        second = save_cache(other, str(tmp_path))
+        assert second.merged_entries == len(warm_cache)
+        assert second.entries == len(warm_cache) + len(other)
+
+        union = DecisionCache()
+        report = load_cache(union, str(tmp_path))
+        assert report.clean
+        assert report.loaded == len(warm_cache) + len(other)
+        # Both writers' verdicts now serve as hits.
+        is_implied(loc_schema, "Store.City.Country", cache=union)
+        is_implied(loc_schema, "City.State.Country", cache=union)
+        assert union.stats.hits == 2 and union.stats.misses == 0
+
+    def test_shadowed_keys_are_not_double_counted(self, warm_cache, tmp_path):
+        save_cache(warm_cache, str(tmp_path))
+        report = save_cache(warm_cache, str(tmp_path))
+        # Every disk key is shadowed by the identical in-memory verdict.
+        assert report.merged_entries == 0
+        assert report.entries == len(warm_cache)
+
+    def test_merged_entries_keep_provenance(
+        self, warm_cache, loc_schema, tmp_path
+    ):
+        save_cache(warm_cache, str(tmp_path))
+        save_cache(self._other_cache(loc_schema), str(tmp_path))
+        union = DecisionCache()
+        load_cache(union, str(tmp_path))
+        key = (loc_schema.fingerprint(), "dimsat", "SaleRegion", ())
+        assert union.provenance_of(key) == warm_cache.provenance_of(key)
+
+    def test_merge_false_overwrites(self, warm_cache, loc_schema, tmp_path):
+        save_cache(warm_cache, str(tmp_path))
+        other = self._other_cache(loc_schema)
+        report = save_cache(other, str(tmp_path), merge=False)
+        assert report.merged_entries == 0
+        fresh = DecisionCache()
+        assert load_cache(fresh, str(tmp_path)).loaded == len(other)
+
+    def test_corrupt_previous_file_is_replaced(self, warm_cache, tmp_path):
+        path = cache_file_path(str(tmp_path))
+        open(path, "wb").write(b"\x00\x01 not a cache\n")
+        report = save_cache(warm_cache, str(tmp_path))
+        assert report.merged_entries == 0
+        fresh = DecisionCache()
+        load_report = load_cache(fresh, str(tmp_path))
+        assert load_report.clean and load_report.loaded == len(warm_cache)
+
+    def test_concurrent_writers_lose_nothing(
+        self, warm_cache, loc_schema, tmp_path
+    ):
+        """Hammer one directory from two threads; the advisory lock
+        serializes the read-merge-write cycles, so the final file holds
+        both writers' entries regardless of interleaving."""
+        import threading
+
+        other = self._other_cache(loc_schema)
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def writer(cache):
+            try:
+                barrier.wait(timeout=5.0)
+                for _ in range(5):
+                    save_cache(cache, str(tmp_path))
+            except Exception as error:  # pragma: no cover - diagnostics
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=writer, args=(cache,))
+            for cache in (warm_cache, other)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        union = DecisionCache()
+        report = load_cache(union, str(tmp_path))
+        assert report.clean
+        assert report.loaded == len(warm_cache) + len(other)
+
+
 class TestReplayVerification:
     def test_divergent_entry_is_dropped_and_reported(
         self, warm_cache, loc_schema, tmp_path

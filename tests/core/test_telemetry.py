@@ -121,6 +121,94 @@ class TestBackgroundWriter:
         assert writer.written == 2
 
 
+class TestAtexitSafetyNet:
+    """Records enqueued immediately before interpreter exit must reach
+    disk even when nobody calls ``close()`` / ``finalize()`` - the drain
+    thread is a daemon, so without the atexit hook they would vanish."""
+
+    def _run(self, code: str, *argv: str):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ, PYTHONPATH="src")
+        return subprocess.run(
+            [sys.executable, "-c", code, *argv],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd="/root/repo",
+            timeout=60,
+        )
+
+    def test_unclosed_writer_flushes_at_exit(self, tmp_path):
+        out = tmp_path / "records.jsonl"
+        proc = self._run(
+            "import sys\n"
+            "from repro.core.telemetry import BackgroundWriter\n"
+            "handle = open(sys.argv[1], 'w', encoding='utf-8')\n"
+            "writer = BackgroundWriter()\n"
+            "writer.pause()  # keep everything buffered until exit\n"
+            "for i in range(50):\n"
+            "    writer.submit(handle, {'i': i})\n"
+            "# ... and exit without close(): the atexit hook must drain.\n",
+            str(out),
+        )
+        assert proc.returncode == 0, proc.stderr
+        lines = out.read_text().splitlines()
+        assert len(lines) == 50
+        assert json.loads(lines[-1]) == {"i": 49}
+
+    def test_unfinalized_pipeline_lands_its_records(self, tmp_path):
+        from repro.io.json_io import schema_to_json
+
+        schema_path = tmp_path / "schema.json"
+        schema_path.write_text(schema_to_json(location_schema()))
+        directory = tmp_path / "telemetry"
+        proc = self._run(
+            "import sys\n"
+            "from repro.core.implication import is_implied\n"
+            "from repro.core.telemetry import TelemetryPipeline\n"
+            "from repro.io.json_io import schema_from_json\n"
+            "schema = schema_from_json(open(sys.argv[2]).read())\n"
+            "pipeline = TelemetryPipeline(sys.argv[1]).install()\n"
+            "is_implied(schema, 'Store.City.Country')\n"
+            "# No finalize(), no close(): exit right on top of the buffer.\n",
+            str(directory),
+            str(schema_path),
+        )
+        assert proc.returncode == 0, proc.stderr
+        audit = (directory / "audit.jsonl").read_text().splitlines()
+        assert any(json.loads(line)["kind"] == "implies" for line in audit)
+        spans = (directory / "spans.jsonl").read_text().splitlines()
+        assert spans  # the tracer's spans were drained too
+        # The atexit path runs the full finalize, manifest included.
+        manifest = json.loads((directory / "MANIFEST.json").read_text())
+        assert manifest["records_dropped"] == 0
+
+    def test_explicit_finalize_keeps_exit_quiet(self, tmp_path):
+        """finalize() then interpreter exit: the hook is unregistered /
+        idempotent, so nothing re-renders or raises at shutdown."""
+        directory = tmp_path / "telemetry"
+        proc = self._run(
+            "import sys\n"
+            "from repro.core.telemetry import TelemetryPipeline\n"
+            "pipeline = TelemetryPipeline(sys.argv[1]).install()\n"
+            "manifest = pipeline.finalize()\n"
+            "print('finalized', len(manifest['files']))\n",
+            str(directory),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stderr == ""
+        assert "finalized" in proc.stdout
+
+    def test_close_is_idempotent_with_the_hook(self):
+        writer = BackgroundWriter()
+        writer.close()
+        writer.close()  # second close (what the hook amounts to): no-op
+        assert writer.dropped == 0
+
+
 class TestRenderPrometheus:
     SNAPSHOT = {
         "counters": {"decision_cache.hits": 7},

@@ -1,0 +1,168 @@
+"""Wire-protocol framing: round trips, partial reads, malformed frames."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.core.wire import (
+    MAX_FRAME_BYTES,
+    WireError,
+    decode_frame,
+    encode_frame,
+    error_response,
+    read_frame,
+    read_frame_async,
+    write_frame,
+)
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        document = {"op": "decide", "request": ["dimsat", "Store"], "id": 7}
+        assert decode_frame(encode_frame(document)[4:]) == document
+
+    def test_frame_is_length_prefixed(self):
+        frame = encode_frame({"op": "ping"})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+
+    def test_unicode_survives(self):
+        document = {"op": "echo", "text": "Σ∘H ⊨ α"}
+        assert decode_frame(encode_frame(document)[4:]) == document
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(WireError):
+            decode_frame(b"[1, 2, 3]")
+        with pytest.raises(WireError):
+            encode_frame(["not", "an", "object"])  # type: ignore[arg-type]
+
+    def test_garbage_payload_rejected(self):
+        with pytest.raises(WireError):
+            decode_frame(b"\xff\xfe not json")
+
+    def test_error_response_shape(self):
+        response = error_response("decide", ValueError("boom"), id=3)
+        assert response["status"] == "error"
+        assert response["error_type"] == "ValueError"
+        assert response["error"] == "boom"
+        assert response["id"] == 3
+        assert error_response("x", "bad frame")["error_type"] == "ProtocolError"
+
+
+def _socket_pair():
+    left, right = socket.socketpair()
+    left.settimeout(5.0)
+    right.settimeout(5.0)
+    return left, right
+
+
+class TestBlockingFraming:
+    def test_round_trip_over_socketpair(self):
+        left, right = _socket_pair()
+        try:
+            write_frame(left, {"op": "stats"})
+            assert read_frame(right) == {"op": "stats"}
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_returns_none(self):
+        left, right = _socket_pair()
+        left.close()
+        try:
+            assert read_frame(right) is None
+        finally:
+            right.close()
+
+    def test_mid_frame_hangup_raises(self):
+        left, right = _socket_pair()
+        try:
+            frame = encode_frame({"op": "decide", "blob": "x" * 4096})
+            left.sendall(frame[: len(frame) // 2])
+            left.close()
+            with pytest.raises(WireError):
+                read_frame(right)
+        finally:
+            right.close()
+
+    def test_oversized_announced_length_rejected_before_buffering(self):
+        left, right = _socket_pair()
+        try:
+            left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(WireError):
+                read_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_split_delivery_reassembles(self):
+        left, right = _socket_pair()
+        try:
+            frame = encode_frame({"op": "decide", "payload": "y" * 1000})
+            received = {}
+
+            def reader():
+                received["doc"] = read_frame(right)
+
+            thread = threading.Thread(target=reader)
+            thread.start()
+            for i in range(0, len(frame), 97):
+                left.sendall(frame[i : i + 97])
+            thread.join(timeout=5.0)
+            assert received["doc"]["payload"] == "y" * 1000
+        finally:
+            left.close()
+            right.close()
+
+
+class TestAsyncFraming:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_async_round_trip(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"op": "navigate", "target": "City"}))
+            reader.feed_eof()
+            first = await read_frame_async(reader)
+            second = await read_frame_async(reader)
+            return first, second
+
+        first, second = self._run(scenario())
+        assert first == {"op": "navigate", "target": "City"}
+        assert second is None
+
+    def test_async_mid_header_hangup(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\x00\x00")
+            reader.feed_eof()
+            await read_frame_async(reader)
+
+        with pytest.raises(WireError):
+            self._run(scenario())
+
+    def test_async_mid_payload_hangup(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            frame = encode_frame({"op": "stats"})
+            reader.feed_data(frame[:-2])
+            reader.feed_eof()
+            await read_frame_async(reader)
+
+        with pytest.raises(WireError):
+            self._run(scenario())
+
+    def test_async_oversized_rejected(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            await read_frame_async(reader)
+
+        with pytest.raises(WireError):
+            self._run(scenario())

@@ -223,3 +223,70 @@ class TestSection16SurvivingEdits:
         assert report.replayed == report.loaded == len(cache)
         assert reloaded.implies(ds, "Center -> Region").implied
         assert reloaded.stats.hits == 1
+
+
+class TestSection17Serving:
+    @pytest.fixture()
+    def server(self):
+        import threading
+
+        from repro.core.decisioncache import DecisionCache
+        from repro.core.parallel import ParallelDecisionEngine
+        from repro.core.resilience import ResilientDecisionEngine
+        from repro.core.server import DecisionServer
+
+        server = DecisionServer(
+            engine=ResilientDecisionEngine(
+                ParallelDecisionEngine(max_workers=2, cache=DecisionCache())
+            )
+        )
+        thread = threading.Thread(target=server.run, daemon=True)
+        thread.start()
+        assert server.started.wait(10)
+        yield server
+        server.request_shutdown()
+        thread.join(10)
+        server.engine.shutdown()
+
+    def test_every_client_sees_the_same_warm_cache(self, ds, server):
+        """'the first `implies` from any connection pays the search,
+        every later one - from *any* connection - is a hit.'"""
+        from repro.core.client import DecisionClient
+
+        with DecisionClient(server.host, server.port) as first:
+            fp = first.load_schema(ds)
+            assert first.implies(fp, "Center -> Region")["verdict"]
+        misses_after_first = server.cache.stats.misses
+        with DecisionClient(server.host, server.port) as second:
+            assert second.implies(fp, "Center -> Region")["verdict"]
+        assert server.cache.stats.misses == misses_after_first
+        assert server.cache.stats.hits >= 1
+
+    def test_edit_keeps_the_old_tenant_correct(self, ds, server):
+        """'the old fingerprint stays registered and *correct* (schemas
+        are immutable; an old tenant is served cold, never wrong).'"""
+        from repro.core.client import DecisionClient
+
+        with DecisionClient(server.host, server.port) as client:
+            fp = client.load_schema(ds)
+            assert not client.implies(fp, "Shipment -> Gateway")["verdict"]
+            edited = client.edit(
+                fp, "add-constraint", constraint="Shipment -> Gateway"
+            )
+            assert edited["status"] == "ok"
+            assert edited["fingerprint"] != fp
+            assert client.implies(
+                edited["fingerprint"], "Shipment -> Gateway"
+            )["verdict"]
+            assert not client.implies(fp, "Shipment -> Gateway")["verdict"]
+
+    def test_call_exit_codes_mirror_the_single_shot_commands(self):
+        """'The exit code mirrors the single-shot commands: 0 for an
+        ok/true verdict, 1 for a false one.'  (Asserted end-to-end in
+        tests/test_cli.py and tests/core/test_server.py; here we pin the
+        documented status set on the wire module.)"""
+        from repro.core.wire import STATUSES
+
+        assert STATUSES == (
+            "ok", "busy", "unknown", "budget-exceeded", "error"
+        )

@@ -20,7 +20,8 @@ _spec.loader.exec_module(watchdog)
 
 
 def _write_docs(
-    directory: Path, b1=4.0, b2=3.0, b4=2.0, b5=1.0, b6=11.0, b7=94.0
+    directory: Path, b1=4.0, b2=3.0, b4=2.0, b5=1.0, b6=11.0, b7=94.0,
+    b8p99=2.0, b8hit=95.0,
 ):
     directory.mkdir(parents=True, exist_ok=True)
     documents = {
@@ -30,6 +31,7 @@ def _write_docs(
         "BENCH_5.json": {"overhead_pct": b5},
         "BENCH_6.json": {"total": {"speedup": b6}},
         "BENCH_7.json": {"total": {"survival_pct": b7}},
+        "BENCH_8.json": {"total": {"p99_ms": b8p99, "warm_hit_pct": b8hit}},
     }
     for filename, document in documents.items():
         (directory / filename).write_text(json.dumps(document) + "\n")
@@ -43,7 +45,7 @@ class TestCompare:
             tmp_path / "baseline", tmp_path / "fresh", tolerance=0.15
         )
         assert report["ok"] and report["regressions"] == 0
-        assert len(report["metrics"]) == 6
+        assert len(report["metrics"]) == 8
 
     def test_25pct_speedup_loss_is_flagged(self, tmp_path):
         _write_docs(tmp_path / "baseline")
@@ -75,6 +77,32 @@ class TestCompare:
         assert not report["ok"]
         (regressed,) = [r for r in report["metrics"] if r["regressed"]]
         assert regressed["file"] == "BENCH_7.json"
+
+    def test_server_p99_latency_regression_is_flagged(self, tmp_path):
+        # A latency metric is an absolute cost: 25% slower p99 is a 25%
+        # cost increase, over the 15% gate.
+        _write_docs(tmp_path / "baseline")
+        _write_docs(tmp_path / "fresh", b8p99=2.0 * 1.25)
+        report = watchdog.compare(
+            tmp_path / "baseline", tmp_path / "fresh", tolerance=0.15
+        )
+        assert not report["ok"]
+        (regressed,) = [r for r in report["metrics"] if r["regressed"]]
+        assert regressed["file"] == "BENCH_8.json"
+        assert regressed["metric"] == "total.p99_ms"
+        assert regressed["cost_change_pct"] == pytest.approx(25.0)
+
+    def test_server_warm_hit_rate_drop_is_flagged(self, tmp_path):
+        # 95% -> 75% warm hits is a ~26.7% cost increase (1/0.75 vs
+        # 1/0.95), over the 15% gate.
+        _write_docs(tmp_path / "baseline")
+        _write_docs(tmp_path / "fresh", b8hit=75.0)
+        report = watchdog.compare(
+            tmp_path / "baseline", tmp_path / "fresh", tolerance=0.15
+        )
+        assert not report["ok"]
+        (regressed,) = [r for r in report["metrics"] if r["regressed"]]
+        assert regressed["metric"] == "total.warm_hit_pct"
 
     def test_overhead_growth_is_a_cost_ratio_not_a_pct_diff(self, tmp_path):
         # +2% -> +7% overhead is only a ~4.9% cost increase; the 15%
